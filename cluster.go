@@ -1,0 +1,299 @@
+package totoro
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"totoro/internal/ids"
+	"totoro/internal/ml"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+	"totoro/internal/simnet"
+	"totoro/internal/transport"
+	"totoro/internal/workload"
+)
+
+// ClusterConfig describes a simulated Totoro deployment.
+type ClusterConfig struct {
+	// N is the number of edge nodes.
+	N int
+	// Seed drives every random choice in the deployment.
+	Seed int64
+	// Ring configures the overlay (B = log2 fanout).
+	Ring ring.Config
+	// PubSub configures the forest layer.
+	PubSub pubsub.Config
+	// Latency is the one-way link latency (default 5ms); LatencyFn
+	// overrides it per link when set.
+	Latency   time.Duration
+	LatencyFn simnet.LatencyFunc
+	// Bandwidth is each node's NIC speed in bytes/sec (0 = unlimited).
+	Bandwidth int64
+	// Cost models local compute.
+	Cost workload.CostModel
+	// ZoneBits enables the multi-ring zone structure; ZoneOf assigns each
+	// node a zone (required when ZoneBits > 0).
+	ZoneBits int
+	ZoneOf   func(node int) uint64
+	// SpeedOf draws a per-node compute speed factor (nil = all 1.0).
+	SpeedOf func(node int) float64
+	// VirtualNodesOf maps a physical host to the number of logical P2P
+	// nodes it runs (the paper's heterogeneity mechanism, §7.5):
+	// resource-rich hosts run several logical nodes — owning
+	// proportionally more of the ID space and therefore more master/
+	// aggregator roles — while all logical nodes of one host share a
+	// single compute queue. Nil means one logical node per host; N then
+	// counts physical hosts either way.
+	VirtualNodesOf func(host int) int
+}
+
+// Cluster is a whole simulated Totoro deployment: N engines on a
+// deterministic virtual network, plus the bookkeeping that evaluates
+// model accuracy and records training trajectories.
+type Cluster struct {
+	Net     *simnet.Network
+	Engines []*Engine
+	// HostOf maps each engine index to its physical host index.
+	HostOf []int
+
+	cfg  ClusterConfig
+	rng  *rand.Rand
+	apps map[AppID]*clusterApp
+}
+
+type clusterApp struct {
+	app    *workload.App
+	eval   *ml.MLP
+	spec   AppSpec
+	master int // engine index, resolved lazily
+}
+
+// NewCluster builds the deployment: engines with zoned or uniform IDs on
+// a statically wired overlay.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.N <= 0 {
+		panic("totoro: cluster needs N > 0")
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 5 * time.Millisecond
+	}
+	lat := cfg.LatencyFn
+	if lat == nil {
+		lat = simnet.ConstLatency(cfg.Latency)
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		apps: make(map[AppID]*clusterApp),
+	}
+	c.Net = simnet.New(simnet.Config{
+		Seed:             cfg.Seed,
+		Latency:          lat,
+		DefaultBandwidth: cfg.Bandwidth,
+	})
+	var ringNodes []*ring.Node
+	logical := 0
+	for host := 0; host < cfg.N; host++ {
+		virtual := 1
+		if cfg.VirtualNodesOf != nil {
+			if v := cfg.VirtualNodesOf(host); v > 0 {
+				virtual = v
+			}
+		}
+		speed := 1.0
+		if cfg.SpeedOf != nil {
+			speed = cfg.SpeedOf(host)
+		}
+		// All logical nodes of one host serialize compute on one queue and
+		// split the host NIC.
+		queue := &workload.ComputeQueue{}
+		for v := 0; v < virtual; v++ {
+			addr := transport.Addr(fmt.Sprintf("n%d", logical))
+			if virtual > 1 {
+				addr = transport.Addr(fmt.Sprintf("n%d.%d", host, v))
+			}
+			logical++
+			id := ids.Random(c.rng)
+			if cfg.ZoneBits > 0 && cfg.ZoneOf != nil {
+				id = ids.MakeZoned(cfg.ZoneOf(host), cfg.ZoneBits, id)
+			}
+			var eng *Engine
+			c.Net.AddNode(addr, func(env transport.Env) transport.Handler {
+				eng = NewEngine(env, ring.Contact{ID: id, Addr: addr}, Options{
+					Ring:     cfg.Ring,
+					PubSub:   cfg.PubSub,
+					Cost:     cfg.Cost,
+					Speed:    speed,
+					ZoneBits: cfg.ZoneBits,
+					Queue:    queue,
+					Eval:     c.evalApp,
+				})
+				return eng
+			})
+			if cfg.Bandwidth > 0 && virtual > 1 {
+				c.Net.SetBandwidth(addr, cfg.Bandwidth/int64(virtual))
+			}
+			c.Engines = append(c.Engines, eng)
+			c.HostOf = append(c.HostOf, host)
+			ringNodes = append(ringNodes, eng.Ring())
+		}
+	}
+	ring.BuildStatic(ringNodes, c.rng)
+	return c
+}
+
+// evalApp is the accuracy oracle installed into every engine: it scores an
+// app's parameters on the app's held-out test set. It is instrumentation
+// and consumes no simulated time.
+func (c *Cluster) evalApp(app AppID, params []float64) float64 {
+	reg, ok := c.apps[app]
+	if !ok {
+		return 0
+	}
+	reg.eval.SetParams(params)
+	return reg.eval.Accuracy(reg.app.Test)
+}
+
+// Deploy registers a workload app, creates its tree from the owner node,
+// and subscribes the given worker nodes with their shards (shard i goes to
+// workers[i]). It returns the AppID after the tree has settled.
+func (c *Cluster) Deploy(app *workload.App, owner int, workers []int) AppID {
+	id := NewAppID(app.Name, "cluster")
+	spec := SpecFromWorkload(id, app)
+	c.apps[id] = &clusterApp{app: app, eval: app.Proto.Clone(), spec: spec, master: -1}
+	c.Engines[owner].CreateTree(spec)
+	c.settle()
+	for i, w := range workers {
+		shard := app.Shards[i%len(app.Shards)]
+		if err := c.Engines[w].Subscribe(id, shard, spec.ZoneRestricted); err != nil {
+			panic(err)
+		}
+	}
+	c.settle()
+	return id
+}
+
+// settle advances the network until quiescent: with keep-alive timers in
+// play the event queue never drains, so a bounded window is run instead.
+func (c *Cluster) settle() {
+	if ka := c.cfg.PubSub.KeepAliveInterval; ka > 0 {
+		c.Net.Run(c.Net.Now() + 5*ka)
+		return
+	}
+	c.Net.RunUntilIdle()
+}
+
+// DeployOnRandomNodes deploys the app with one worker per shard placed on
+// distinct random nodes.
+func (c *Cluster) DeployOnRandomNodes(app *workload.App) AppID {
+	n := len(c.Engines)
+	if len(app.Shards) > n {
+		panic("totoro: more shards than nodes")
+	}
+	perm := c.rng.Perm(n)
+	return c.Deploy(app, perm[len(app.Shards)%n], perm[:len(app.Shards)])
+}
+
+// Train starts every given app concurrently and runs the simulation to
+// completion; it returns each app's trajectory in the same order. With
+// keep-alives enabled (periodic timers never drain the event queue) it
+// steps time until every app finishes, up to a generous deadline.
+func (c *Cluster) Train(appIDs ...AppID) []*workload.Progress {
+	if c.cfg.PubSub.KeepAliveInterval > 0 {
+		return c.TrainUntil(c.Net.Now()+4*time.Hour, appIDs...)
+	}
+	for _, id := range appIDs {
+		// Any node can issue the start; use the registered owner path via a
+		// random engine to exercise routing.
+		c.Engines[c.rng.Intn(len(c.Engines))].StartTraining(id)
+	}
+	c.Net.RunUntilIdle()
+	out := make([]*workload.Progress, len(appIDs))
+	for i, id := range appIDs {
+		out[i] = c.Progress(id)
+	}
+	return out
+}
+
+// TrainUntil starts the apps and advances virtual time in slices until all
+// of them complete or the deadline passes — the driver to use when
+// keep-alive timers (or churn injected between slices via Hooks) keep the
+// event queue busy forever.
+func (c *Cluster) TrainUntil(deadline time.Duration, appIDs ...AppID) []*workload.Progress {
+	for _, id := range appIDs {
+		c.Engines[c.rng.Intn(len(c.Engines))].StartTraining(id)
+	}
+	c.StepUntilDone(deadline, appIDs...)
+	out := make([]*workload.Progress, len(appIDs))
+	for i, id := range appIDs {
+		out[i] = c.Progress(id)
+	}
+	return out
+}
+
+// StepUntilDone advances time in 100ms slices until every listed app's
+// master reports done (or the deadline passes).
+func (c *Cluster) StepUntilDone(deadline time.Duration, appIDs ...AppID) {
+	for c.Net.Now() < deadline {
+		c.Net.Run(c.Net.Now() + 100*time.Millisecond)
+		if c.allDone(appIDs) {
+			return
+		}
+	}
+}
+
+func (c *Cluster) allDone(appIDs []AppID) bool {
+	for _, id := range appIDs {
+		m := c.Master(id)
+		if m == nil {
+			return false
+		}
+		p, _ := m.Progress(id)
+		if p == nil || (p.Done == 0 && !p.Reached) {
+			return false
+		}
+		if p.Done == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Progress finds the app's master and returns its recorded trajectory.
+func (c *Cluster) Progress(id AppID) *workload.Progress {
+	if m := c.Master(id); m != nil {
+		p, _ := m.Progress(id)
+		if p.Done == 0 {
+			p.Done = c.Net.Now()
+		}
+		return p
+	}
+	return nil
+}
+
+// Master returns the engine currently mastering the app, or nil.
+func (c *Cluster) Master(id AppID) *Engine {
+	reg := c.apps[id]
+	if reg != nil && reg.master >= 0 && c.Engines[reg.master].IsMaster(id) {
+		return c.Engines[reg.master]
+	}
+	for i, e := range c.Engines {
+		if e.IsMaster(id) {
+			if reg != nil {
+				reg.master = i
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// Spec returns the registered spec for an app.
+func (c *Cluster) Spec(id AppID) (AppSpec, bool) {
+	reg, ok := c.apps[id]
+	if !ok {
+		return AppSpec{}, false
+	}
+	return reg.spec, true
+}

@@ -1,0 +1,129 @@
+package totoro
+
+import (
+	"testing"
+
+	"totoro/internal/ring"
+	"totoro/internal/workload"
+)
+
+func TestClusterSpecAccessor(t *testing.T) {
+	c := testCluster(40, 41)
+	app := testApps(1, 41)[0]
+	id := c.DeployOnRandomNodes(app)
+	spec, ok := c.Spec(id)
+	if !ok || spec.Name != app.Name {
+		t.Fatalf("Spec(%v)=%+v,%v", id, spec, ok)
+	}
+	if _, ok := c.Spec(NewAppID("nope", "nope")); ok {
+		t.Fatal("unknown app returned a spec")
+	}
+}
+
+func TestClusterProgressUnknownApp(t *testing.T) {
+	c := testCluster(20, 42)
+	if p := c.Progress(NewAppID("ghost", "x")); p != nil {
+		t.Fatalf("progress for unknown app: %+v", p)
+	}
+	if m := c.Master(NewAppID("ghost", "x")); m != nil {
+		t.Fatal("master for unknown app")
+	}
+}
+
+func TestMasterCachedAcrossLookups(t *testing.T) {
+	c := testCluster(50, 43)
+	app := testApps(1, 43)[0]
+	app.MaxRounds = 0
+	id := c.DeployOnRandomNodes(app)
+	m1 := c.Master(id)
+	m2 := c.Master(id)
+	if m1 == nil || m1 != m2 {
+		t.Fatal("master lookup unstable")
+	}
+}
+
+func TestEngineGlobalParamsCopy(t *testing.T) {
+	c := testCluster(50, 44)
+	app := testApps(1, 44)[0]
+	app.MaxRounds = 2
+	app.TargetAccuracy = 0.999
+	id := c.DeployOnRandomNodes(app)
+	c.Train(id)
+	m := c.Master(id)
+	p1, ok := m.GlobalParams(id)
+	if !ok || len(p1) == 0 {
+		t.Fatal("no global params")
+	}
+	p1[0] += 1000
+	p2, _ := m.GlobalParams(id)
+	if p2[0] == p1[0] {
+		t.Fatal("GlobalParams returned shared storage")
+	}
+	if _, ok := m.GlobalParams(NewAppID("ghost", "x")); ok {
+		t.Fatal("params for unknown app")
+	}
+	if apps := m.MasterApps(); len(apps) != 1 || apps[0] != id {
+		t.Fatalf("MasterApps=%v", apps)
+	}
+}
+
+func TestDuplicateCreateTreeIsIdempotent(t *testing.T) {
+	c := testCluster(40, 45)
+	app := testApps(1, 45)[0]
+	app.MaxRounds = 0
+	id := NewAppID(app.Name, "cluster")
+	spec := SpecFromWorkload(id, app)
+	c.apps[id] = &clusterApp{app: app, eval: app.Proto.Clone(), spec: spec, master: -1}
+	c.Engines[0].CreateTree(spec)
+	c.Engines[1].CreateTree(spec) // second creator, same app
+	c.Net.RunUntilIdle()
+	masters := 0
+	for _, e := range c.Engines {
+		if e.IsMaster(id) {
+			masters++
+		}
+	}
+	if masters != 1 {
+		t.Fatalf("masters=%d after duplicate CreateTree", masters)
+	}
+}
+
+func TestStartTrainingTwiceRunsOnce(t *testing.T) {
+	c := testCluster(50, 46)
+	app := testApps(1, 46)[0]
+	app.MaxRounds = 3
+	app.TargetAccuracy = 0.999
+	id := c.DeployOnRandomNodes(app)
+	c.Engines[0].StartTraining(id)
+	c.Engines[1].StartTraining(id)
+	c.Net.RunUntilIdle()
+	p := c.Progress(id)
+	if len(p.Points) != 3 {
+		t.Fatalf("rounds=%d want 3 (double start must not double rounds)", len(p.Points))
+	}
+	for i, pt := range p.Points {
+		if pt.Round != i+1 {
+			t.Fatalf("round sequence corrupted: %+v", p.Points)
+		}
+	}
+}
+
+func TestZonedClusterBuildsAllZones(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		N:        32,
+		Seed:     47,
+		Ring:     ring.Config{B: 4},
+		ZoneBits: 4,
+		ZoneOf:   func(i int) uint64 { return uint64(i % 4) },
+	})
+	counts := map[uint64]int{}
+	for _, e := range c.Engines {
+		counts[e.Self().ID.ZonePrefix(4)]++
+	}
+	for z := uint64(0); z < 4; z++ {
+		if counts[z] != 8 {
+			t.Fatalf("zone %d has %d nodes want 8", z, counts[z])
+		}
+	}
+	_ = workload.DefaultCostModel()
+}

@@ -1,0 +1,91 @@
+// totoro-sim is a simulation playground: it spins up a virtual edge
+// deployment, launches concurrently training FL applications, and prints
+// their trajectories.
+//
+//	totoro-sim -nodes 150 -apps 5 -clients 16 -fanout 16 -task speech
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	totoro "totoro"
+	"totoro/internal/ring"
+	"totoro/internal/workload"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 120, "edge nodes in the deployment")
+		apps    = flag.Int("apps", 3, "concurrently training applications")
+		clients = flag.Int("clients", 12, "workers per application")
+		samples = flag.Int("samples", 50, "training samples per worker")
+		fanout  = flag.Int("fanout", 16, "tree fanout: 8, 16, or 32")
+		task    = flag.String("task", "speech", "workload: speech or femnist")
+		rounds  = flag.Int("rounds", 40, "maximum training rounds")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	var b int
+	switch *fanout {
+	case 8:
+		b = 3
+	case 16:
+		b = 4
+	case 32:
+		b = 5
+	default:
+		log.Fatalf("fanout must be 8, 16, or 32")
+	}
+	var t workload.Task
+	switch *task {
+	case "speech":
+		t = workload.TaskSpeech
+	case "femnist":
+		t = workload.TaskFEMNIST
+	default:
+		log.Fatalf("task must be speech or femnist")
+	}
+
+	cluster := totoro.NewCluster(totoro.ClusterConfig{
+		N:         *nodes,
+		Seed:      *seed,
+		Ring:      ring.Config{B: b},
+		Bandwidth: 2 << 20,
+	})
+	ws := workload.MakeApps(workload.Params{
+		Task:             t,
+		Apps:             *apps,
+		ClientsPerApp:    *clients,
+		SamplesPerClient: *samples,
+		Seed:             *seed,
+	})
+	var appIDs []totoro.AppID
+	for _, a := range ws {
+		a.MaxRounds = *rounds
+		appIDs = append(appIDs, cluster.DeployOnRandomNodes(a))
+	}
+	fmt.Printf("deployment: %d nodes, fanout %d, %d apps x %d workers\n",
+		*nodes, *fanout, *apps, *clients)
+	for i, id := range appIDs {
+		fmt.Printf("  %-12s master=%s appId=%s…\n",
+			ws[i].Name, cluster.Master(id).Self().Addr, id.Short())
+	}
+
+	progress := cluster.Train(appIDs...)
+	fmt.Println("\nresults:")
+	for i, p := range progress {
+		last := p.Points[len(p.Points)-1]
+		fmt.Printf("  %-12s rounds=%3d acc=%.3f target=%.3f reached=%v done=%.1fs\n",
+			ws[i].Name, last.Round, last.Accuracy, ws[i].TargetAccuracy, p.Reached, p.Done.Seconds())
+	}
+	var worst float64
+	for _, p := range progress {
+		if s := p.Done.Seconds(); s > worst {
+			worst = s
+		}
+	}
+	fmt.Printf("\ntotal virtual time to train all %d apps: %.1fs\n", *apps, worst)
+}

@@ -1,0 +1,36 @@
+// Package totoro is a fully decentralized federated-learning engine for
+// edge networks — a from-scratch Go implementation of "Totoro: A Scalable
+// Federated Learning Engine for the Edge" (EuroSys '24).
+//
+// # Architecture
+//
+// Totoro replaces the conventional "single master / many workers"
+// parameter-server design with a DHT-based peer-to-peer model:
+//
+//   - Layer 1 — a locality-aware P2P multi-ring structure. All edge nodes
+//     self-organize into a Pastry-style overlay (internal/ring) with
+//     O(log N) prefix routing; Ratnasamy–Shenker distributed binning
+//     divides the population into locality zones with a boundary-aware
+//     two-level routing table (internal/multiring) for administrative
+//     isolation.
+//   - Layer 2 — a publish/subscribe-based forest. Every FL application is
+//     assigned a dynamically-structured dataflow tree rooted at the node
+//     whose ID is numerically closest to the AppId (internal/pubsub). The
+//     root is the application's master; interior nodes aggregate
+//     in-network; subscribers are the workers. Because AppIds are uniform
+//     hashes, masters spread evenly over the population and no node is a
+//     global bottleneck.
+//   - Layer 3 — this package: the high-level API of the paper's Table 2
+//     (Join, CreateTree, Subscribe, Broadcast, OnBroadcast, Aggregate,
+//     OnAggregate, OnTimer) plus a complete FL driver with per-application
+//     policies (aggregation function, participant selection, gradient
+//     compression, differential-privacy noise), and a bandit-based
+//     path-planning model (internal/bandit) for unreliable links.
+//
+// # Running it
+//
+// An Engine is one edge node's protocol stack; it is event-driven and runs
+// over any transport.Env. Cluster builds a whole simulated deployment in
+// one call — see examples/quickstart for the five-minute tour, and
+// cmd/totoro-node for running engines over real TCP.
+package totoro

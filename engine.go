@@ -1,0 +1,444 @@
+package totoro
+
+import (
+	"fmt"
+	"time"
+
+	"totoro/internal/fl"
+	"totoro/internal/ids"
+	"totoro/internal/ml"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+	"totoro/internal/transport"
+	"totoro/internal/workload"
+)
+
+// Options configures one Engine (one edge node's protocol stack).
+type Options struct {
+	// Ring configures the Pastry-style overlay (B controls tree fanout:
+	// fanout = 2^B, the paper's 8/16/32 settings).
+	Ring ring.Config
+	// PubSub configures the forest layer (keep-alives, fanout caps,
+	// aggregation timeouts).
+	PubSub pubsub.Config
+	// Cost models local compute time; zero value uses the default.
+	Cost workload.CostModel
+	// Speed is this node's compute speed factor (1 = nominal).
+	Speed float64
+	// ZoneBits is the multi-ring zone prefix width; 0 disables zone
+	// enforcement.
+	ZoneBits int
+	// Queue, when set, is a compute queue shared with other engines on the
+	// same physical host — the paper's virtual-node mechanism for
+	// heterogeneous hardware (§7.5): a resource-rich machine runs several
+	// logical P2P nodes that serialize their local training on the shared
+	// CPU. Nil gives the engine its own queue.
+	Queue *workload.ComputeQueue
+	// Eval scores an application's global parameters (test accuracy). It
+	// is instrumentation: typically installed by the Cluster, it runs at
+	// round boundaries on the master and costs no simulated time.
+	Eval func(app AppID, params []float64) float64
+}
+
+// Callbacks are the user-facing upcalls of Table 2 for custom
+// (non-FL-driver) applications built directly on the forest.
+type Callbacks struct {
+	// OnBroadcast fires when a Broadcast object reaches this node
+	// (Table 2 onBroadcast).
+	OnBroadcast func(app AppID, obj any, depth int, subscriber bool)
+	// OnAggregate fires at the tree root when a user aggregation round
+	// completes (Table 2 onAggregate).
+	OnAggregate func(app AppID, round int, obj any, count int)
+	// Combine merges two user aggregation objects (owner's aggregation
+	// function).
+	Combine func(app AppID, a, b any) any
+}
+
+// TimerInfo is the progress snapshot handed to OnTimer callbacks
+// (round_num, accuracy — Table 2 onTimer).
+type TimerInfo struct {
+	App      AppID
+	Round    int
+	Accuracy float64
+	Done     bool
+	Now      time.Duration
+}
+
+type masterState struct {
+	spec     AppSpec
+	global   []float64
+	round    int
+	progress *workload.Progress
+	started  bool
+	done     bool
+}
+
+type workerState struct {
+	shard      *ml.Dataset
+	proto      *ml.MLP
+	restricted bool
+}
+
+// Engine is one edge node's full Totoro stack: overlay node, forest node,
+// and the FL driver. Any engine can simultaneously be master for some
+// applications, aggregator/forwarder for others, and worker for yet
+// others — that symmetry is the core of the design.
+type Engine struct {
+	env  transport.Env
+	opts Options
+	ring *ring.Node
+	ps   *pubsub.Node
+
+	queue   *workload.ComputeQueue
+	masters map[AppID]*masterState
+	workers map[AppID]*workerState
+	cb      Callbacks
+
+	// RoundHook, when set, observes every completed master round
+	// (experiment instrumentation).
+	RoundHook func(app AppID, round int, acc float64, now time.Duration)
+}
+
+// NewEngine builds an engine for the given environment and identity.
+// The returned engine is the node's transport.Handler.
+func NewEngine(env transport.Env, self ring.Contact, opts Options) *Engine {
+	if opts.Cost.FLOPS == 0 {
+		opts.Cost = workload.DefaultCostModel()
+	}
+	if opts.Speed == 0 {
+		opts.Speed = 1
+	}
+	queue := opts.Queue
+	if queue == nil {
+		queue = &workload.ComputeQueue{}
+	}
+	e := &Engine{
+		env:     env,
+		opts:    opts,
+		queue:   queue,
+		masters: make(map[AppID]*masterState),
+		workers: make(map[AppID]*workerState),
+	}
+	e.ring = ring.New(env, self, opts.Ring)
+	e.ps = pubsub.New(env, e.ring, opts.PubSub)
+	// The engine interposes on the ring's upcalls to catch its own control
+	// messages, delegating everything else to the pub/sub layer.
+	e.ring.SetApp(e)
+	e.ps.SetHandlers(pubsub.Handlers{
+		OnDeliver:   e.onDeliver,
+		Combine:     e.combine,
+		OnAggregate: e.onAggregate,
+	})
+	return e
+}
+
+// Self returns this node's overlay contact.
+func (e *Engine) Self() ring.Contact { return e.ring.Self() }
+
+// Ring exposes the overlay node (diagnostics and experiments).
+func (e *Engine) Ring() *ring.Node { return e.ring }
+
+// PubSub exposes the forest node (diagnostics and experiments).
+func (e *Engine) PubSub() *pubsub.Node { return e.ps }
+
+// SetCallbacks installs the custom-application upcalls.
+func (e *Engine) SetCallbacks(cb Callbacks) { e.cb = cb }
+
+// Receive implements transport.Handler, dispatching overlay and forest
+// messages to their layers.
+func (e *Engine) Receive(from transport.Addr, msg any) {
+	if _, ok := msg.(ring.Message); ok {
+		e.ring.Receive(from, msg)
+		return
+	}
+	e.ps.Receive(from, msg)
+}
+
+// --- Table 2 API ---
+
+// Join enters an existing overlay through any member node.
+func (e *Engine) Join(bootstrap transport.Addr) { e.ring.Join(bootstrap) }
+
+// CreateTree creates the application's dataflow tree: the spec is routed
+// to the rendezvous node (numerically closest to the AppID), which becomes
+// the application's master.
+func (e *Engine) CreateTree(spec AppSpec) {
+	if spec.ID.IsZero() {
+		panic("totoro: CreateTree needs a non-zero AppID")
+	}
+	e.ring.Route(spec.ID, announceMsg{Spec: spec})
+}
+
+// Subscribe joins this node to an application's tree as a worker holding
+// the given local shard. restricted enforces the zone boundary for
+// zone-restricted applications.
+func (e *Engine) Subscribe(app AppID, shard *ml.Dataset, restricted bool) error {
+	if restricted && e.opts.ZoneBits > 0 {
+		if app.ZonePrefix(e.opts.ZoneBits) != e.Self().ID.ZonePrefix(e.opts.ZoneBits) {
+			return fmt.Errorf("totoro: node %s (zone %d) refused zone-restricted app in zone %d",
+				e.Self().Addr, e.Self().ID.ZonePrefix(e.opts.ZoneBits), app.ZonePrefix(e.opts.ZoneBits))
+		}
+	}
+	e.workers[app] = &workerState{shard: shard, restricted: restricted}
+	e.ps.Subscribe(app)
+	return nil
+}
+
+// SubscribeTopic joins a tree without a data shard (custom pub/sub use).
+func (e *Engine) SubscribeTopic(app AppID) { e.ps.Subscribe(app) }
+
+// Unsubscribe leaves an application.
+func (e *Engine) Unsubscribe(app AppID) {
+	delete(e.workers, app)
+	e.ps.Unsubscribe(app)
+}
+
+// StartTraining tells the application's master to begin rounds.
+func (e *Engine) StartTraining(app AppID) { e.ring.Route(app, startMsg{App: app}) }
+
+// Broadcast disseminates an object from the master down the tree
+// (Table 2 Broadcast). Called anywhere, it first routes to the root.
+func (e *Engine) Broadcast(app AppID, obj any) { e.ps.Publish(app, obj) }
+
+// Aggregate contributes an object to an aggregation round (Table 2
+// Aggregate); interior nodes fold contributions with the owner's
+// aggregation function on the way to the root.
+func (e *Engine) Aggregate(app AppID, round int, obj any) { e.ps.SubmitUpdate(app, round, obj) }
+
+// OnTimer invokes fn with progress information every interval until the
+// app finishes or cancel is called (Table 2 onTimer).
+func (e *Engine) OnTimer(app AppID, interval time.Duration, fn func(TimerInfo)) (cancel func()) {
+	stopped := false
+	var tick func()
+	var c func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		info := TimerInfo{App: app, Now: e.env.Now()}
+		if m, ok := e.masters[app]; ok {
+			info.Round = m.round
+			info.Done = m.done
+			if n := len(m.progress.Points); n > 0 {
+				info.Accuracy = m.progress.Points[n-1].Accuracy
+			}
+		}
+		fn(info)
+		if info.Done {
+			return
+		}
+		c = e.env.After(interval, tick)
+	}
+	c = e.env.After(interval, tick)
+	return func() {
+		stopped = true
+		if c != nil {
+			c()
+		}
+	}
+}
+
+// IsMaster reports whether this node is the application's master.
+func (e *Engine) IsMaster(app AppID) bool {
+	_, ok := e.masters[app]
+	return ok
+}
+
+// Progress returns the master-side training trajectory for an app.
+func (e *Engine) Progress(app AppID) (*workload.Progress, bool) {
+	m, ok := e.masters[app]
+	if !ok {
+		return nil, false
+	}
+	return m.progress, true
+}
+
+// GlobalParams returns a copy of the master's current global parameters.
+func (e *Engine) GlobalParams(app AppID) ([]float64, bool) {
+	m, ok := e.masters[app]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), m.global...), true
+}
+
+// MasterApps lists the applications this node currently masters.
+func (e *Engine) MasterApps() []AppID {
+	out := make([]AppID, 0, len(e.masters))
+	for id := range e.masters {
+		out = append(out, id)
+	}
+	return out
+}
+
+// --- ring.App interposition ---
+
+// Deliver handles control messages addressed to this node as rendezvous,
+// delegating pub/sub payloads onward.
+func (e *Engine) Deliver(d ring.Delivery) {
+	switch p := d.Payload.(type) {
+	case announceMsg:
+		e.becomeMaster(p.Spec)
+	case startMsg:
+		if m, ok := e.masters[p.App]; ok && !m.started && !m.done {
+			m.started = true
+			e.beginRound(m)
+		}
+	default:
+		e.ps.Deliver(d)
+	}
+}
+
+// Forward delegates to the pub/sub layer (JOIN interception).
+func (e *Engine) Forward(d *ring.Delivery, next ring.Contact) bool {
+	return e.ps.Forward(d, next)
+}
+
+func (e *Engine) becomeMaster(spec AppSpec) {
+	if _, dup := e.masters[spec.ID]; dup {
+		return
+	}
+	e.masters[spec.ID] = &masterState{
+		spec:     spec,
+		global:   append([]float64(nil), spec.InitParams...),
+		progress: &workload.Progress{App: spec.Name},
+	}
+	// Claim the tree root so early subscribers splice below us, installing
+	// the owner's tree parameters (fanout cap, semi-sync round deadline).
+	e.ps.CreateWithConfig(spec.ID, pubsub.TreeConfig{
+		MaxFanout:  spec.TreeFanout,
+		AggTimeout: spec.RoundDeadline,
+	})
+}
+
+func (e *Engine) beginRound(m *masterState) {
+	m.round++
+	params := append([]float64(nil), m.global...)
+	e.ps.Publish(m.spec.ID, roundStart{
+		App:           m.spec.ID,
+		Round:         m.round,
+		Sizes:         m.spec.Sizes,
+		Params:        params,
+		Cfg:           m.spec.Cfg,
+		Participation: m.spec.Participation,
+		Compressor:    m.spec.Compressor,
+		TopK:          m.spec.TopK,
+		NoiseSigma:    m.spec.NoiseSigma,
+	})
+}
+
+// --- pub/sub upcalls ---
+
+func (e *Engine) onDeliver(app ids.ID, obj any, depth int, subscriber bool) {
+	if rs, ok := obj.(roundStart); ok {
+		e.handleRoundStart(app, rs, subscriber)
+		return
+	}
+	if e.cb.OnBroadcast != nil {
+		e.cb.OnBroadcast(app, obj, depth, subscriber)
+	}
+}
+
+func (e *Engine) combine(app ids.ID, a, b any) any {
+	if _, ok := a.(updateAgg); ok {
+		return mergeUpdates(a, b)
+	}
+	if _, ok := b.(updateAgg); ok {
+		return mergeUpdates(a, b)
+	}
+	if e.cb.Combine != nil {
+		return e.cb.Combine(app, a, b)
+	}
+	return b
+}
+
+func (e *Engine) onAggregate(app ids.ID, round int, obj any, count int) {
+	m, isMaster := e.masters[app]
+	u, isUpdate := obj.(updateAgg)
+	if isMaster && (isUpdate || obj == nil) {
+		e.completeRound(m, round, u)
+		return
+	}
+	if e.cb.OnAggregate != nil {
+		e.cb.OnAggregate(app, round, obj, count)
+	}
+}
+
+// handleRoundStart is every tree member's reaction to a round broadcast:
+// train and contribute if selected, otherwise report an empty
+// contribution so in-network aggregation can complete.
+func (e *Engine) handleRoundStart(app ids.ID, rs roundStart, subscriber bool) {
+	w := e.workers[app]
+	selected := subscriber && w != nil && w.shard != nil && w.shard.Len() > 0 &&
+		participates(app, e.Self().Addr, rs.Round, rs.Participation)
+	if !selected {
+		e.ps.SubmitUpdate(app, rs.Round, nil)
+		return
+	}
+	if w.proto == nil || !sameSizes(w.proto.Sizes, rs.Sizes) {
+		w.proto = ml.NewMLP(rs.Sizes, e.env.Rand())
+	}
+	dur := e.opts.Cost.Time(rs.Cfg.LocalEpochs, w.shard.Len(), w.proto.NumParams(), e.opts.Speed)
+	now := e.env.Now()
+	finish := e.queue.Start(now, dur)
+	e.env.After(finish-now, func() {
+		u := fl.LocalTrain(w.proto, rs.Params, w.shard, rs.Cfg, e.env.Rand())
+		if u.Samples == 0 {
+			e.ps.SubmitUpdate(app, rs.Round, nil)
+			return
+		}
+		if rs.NoiseSigma > 0 {
+			u.Delta = GaussianNoise(u.Delta, rs.NoiseSigma, e.env.Rand())
+		}
+		spec := AppSpec{Compressor: rs.Compressor, TopK: rs.TopK}
+		recon, bytes := spec.compressor().Apply(u.Delta)
+		u.Delta = recon
+		e.ps.SubmitUpdate(app, rs.Round, updateAgg{Acc: fl.NewAccum(u), Bytes: bytes})
+	})
+}
+
+func (e *Engine) completeRound(m *masterState, round int, u updateAgg) {
+	if m.done || round != m.round {
+		return // stale or supplementary flush
+	}
+	if u.Acc != nil {
+		if d := u.Acc.MeanDelta(); d != nil {
+			fl.ApplyDelta(m.global, d)
+		}
+	}
+	acc := 0.0
+	if e.opts.Eval != nil {
+		acc = e.opts.Eval(m.spec.ID, m.global)
+	}
+	now := e.env.Now()
+	participants := 0
+	if u.Acc != nil {
+		participants = u.Acc.Count
+	}
+	m.progress.Points = append(m.progress.Points, workload.AccuracyPoint{
+		Time: now, Round: m.round, Accuracy: acc, Participants: participants,
+	})
+	if e.RoundHook != nil {
+		e.RoundHook(m.spec.ID, m.round, acc, now)
+	}
+	reached := m.spec.TargetAccuracy > 0 && acc >= m.spec.TargetAccuracy
+	if reached || m.round >= m.spec.MaxRounds {
+		m.done = true
+		m.progress.Done = now
+		m.progress.Reached = reached
+		return
+	}
+	e.beginRound(m)
+}
+
+func sameSizes(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+// Churn: training through node failures (paper §4.5, §7.5).
+//
+// An FL application trains while 10% of its tree members crash mid-run.
+// Keep-alive heartbeats detect the failed parents; orphaned children
+// re-route their JOINs toward the AppId and splice back into the tree;
+// aggregation timeouts keep rounds flowing while repairs happen. Training
+// finishes despite the churn.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"time"
+
+	totoro "totoro"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+	"totoro/internal/workload"
+)
+
+func main() {
+	cluster := totoro.NewCluster(totoro.ClusterConfig{
+		N:    100,
+		Seed: 31,
+		Ring: ring.Config{B: 4, ReliableHops: true, HopAckTimeout: 150 * time.Millisecond},
+		PubSub: pubsub.Config{
+			KeepAliveInterval: 100 * time.Millisecond,
+			KeepAliveTimeout:  300 * time.Millisecond,
+			AggTimeout:        2 * time.Second,
+		},
+		Bandwidth: 2 << 20,
+	})
+
+	app := workload.MakeApps(workload.Params{
+		Task: workload.TaskSpeech, Apps: 1, ClientsPerApp: 20, SamplesPerClient: 50, Seed: 3,
+	})[0]
+	app.Name = "churn-resilient-training"
+	app.TargetAccuracy = 0 // run the full schedule
+	app.MaxRounds = 14
+
+	id := cluster.DeployOnRandomNodes(app)
+	master := cluster.Master(id)
+	fmt.Printf("master: %s, 20 workers subscribed\n", master.Self().Addr)
+
+	// Start training, run the first seconds, then kill 10% of the tree.
+	cluster.Engines[0].StartTraining(id)
+	cluster.Net.Run(cluster.Net.Now() + 3*time.Second)
+
+	killed := 0
+	for _, e := range cluster.Engines {
+		if killed >= 2 {
+			break
+		}
+		info, ok := e.PubSub().TreeInfo(id)
+		if !ok || !info.Attached || info.IsRoot || e == master {
+			continue
+		}
+		if len(info.Children) > 0 { // interior nodes hurt the most
+			fmt.Printf("t=%.1fs: failing interior node %s (had %d children)\n",
+				cluster.Net.Now().Seconds(), e.Self().Addr, len(info.Children))
+			cluster.Net.Fail(e.Self().Addr)
+			killed++
+		}
+	}
+
+	// Let keep-alive detection, re-joins, and the remaining rounds play out.
+	cluster.StepUntilDone(cluster.Net.Now()+10*time.Minute, id)
+
+	p := cluster.Progress(id)
+	repairs := 0
+	for _, e := range cluster.Engines {
+		repairs += e.PubSub().Stats.Repairs
+	}
+	last := p.Points[len(p.Points)-1]
+	fmt.Printf("\nsurvived: %d tree repairs triggered by keep-alive timeouts\n", repairs)
+	fmt.Printf("training completed round %d with accuracy %.3f at t=%.1fs\n",
+		last.Round, last.Accuracy, p.Done.Seconds())
+	for _, pt := range p.Points {
+		fmt.Printf("  round %2d  t=%6.1fs  acc=%.3f  participants=%d\n",
+			pt.Round, pt.Time.Seconds(), pt.Accuracy, pt.Participants)
+	}
+}

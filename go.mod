@@ -1,0 +1,3 @@
+module totoro
+
+go 1.24

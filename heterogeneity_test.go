@@ -1,0 +1,80 @@
+package totoro
+
+import (
+	"testing"
+	"time"
+
+	"totoro/internal/ring"
+	"totoro/internal/workload"
+)
+
+// TestVirtualNodesAttractProportionalRoles checks the paper's
+// heterogeneity mechanism (§7.5): a resource-rich host running k logical
+// P2P nodes owns ~k× the ID space and therefore collects ~k× the master
+// roles of a plain host.
+func TestVirtualNodesAttractProportionalRoles(t *testing.T) {
+	const hosts = 40
+	c := NewCluster(ClusterConfig{
+		N:    hosts,
+		Seed: 17,
+		Ring: ring.Config{B: 4},
+		VirtualNodesOf: func(host int) int {
+			if host == 0 {
+				return 6 // one beefy machine
+			}
+			return 1
+		},
+	})
+	if len(c.Engines) != hosts+5 {
+		t.Fatalf("logical nodes = %d want %d", len(c.Engines), hosts+5)
+	}
+	// Host 0's engines share one compute queue.
+	if c.Engines[0].queue != c.Engines[5].queue {
+		t.Fatal("virtual nodes of host 0 do not share a compute queue")
+	}
+	if c.Engines[0].queue == c.Engines[6].queue {
+		t.Fatal("different hosts share a compute queue")
+	}
+
+	apps := workload.MakeApps(workload.Params{
+		Task: workload.TaskSpeech, Apps: 60, ClientsPerApp: 2, SamplesPerClient: 10, Seed: 17,
+	})
+	rootsPerHost := map[int]int{}
+	for _, a := range apps {
+		a.MaxRounds = 0
+		id := c.DeployOnRandomNodes(a)
+		for ei, e := range c.Engines {
+			if e.IsMaster(id) {
+				rootsPerHost[c.HostOf[ei]]++
+			}
+		}
+	}
+	beefy := rootsPerHost[0]
+	others := 0
+	for h, cnt := range rootsPerHost {
+		if h != 0 {
+			others += cnt
+		}
+	}
+	meanOther := float64(others) / float64(hosts-1)
+	// Expect roughly 6× the mean; allow generous slack for hash variance.
+	if float64(beefy) < 2*meanOther {
+		t.Fatalf("beefy host attracted %d masters vs mean %.2f — not proportional", beefy, meanOther)
+	}
+}
+
+// TestSharedQueueSerializesCompute verifies that two logical nodes on one
+// host cannot train simultaneously.
+func TestSharedQueueSerializesCompute(t *testing.T) {
+	q := &workload.ComputeQueue{}
+	f1 := q.Start(0, 100*time.Millisecond)
+	f2 := q.Start(0, 100*time.Millisecond)
+	if f1 != 100*time.Millisecond || f2 != 200*time.Millisecond {
+		t.Fatalf("queue did not serialize: %v %v", f1, f2)
+	}
+	// A task submitted after the queue drained starts immediately.
+	f3 := q.Start(500*time.Millisecond, 50*time.Millisecond)
+	if f3 != 550*time.Millisecond {
+		t.Fatalf("idle queue delayed a task: %v", f3)
+	}
+}

@@ -1,0 +1,109 @@
+package bandit
+
+import (
+	"math/rand"
+)
+
+// Experiment is the Fig 10 / Fig 11 harness: K packets routed over a
+// layered random graph, repeated Runs times with different transmission
+// randomness (the graph itself is fixed by Seed).
+type Experiment struct {
+	Layers, Width int
+	Lo, Hi        float64 // link success probability range
+	K             int     // packets per run
+	Runs          int
+	Seed          int64
+}
+
+// DefaultExperiment mirrors the scale of the paper's adaptivity study:
+// a source and destination separated by layered relays with widely varying
+// link quality.
+func DefaultExperiment() Experiment {
+	return Experiment{Layers: 2, Width: 3, K: 2000, Runs: 10, Seed: 424242}
+}
+
+// Build creates the experiment's graph: a planted-path layered graph when
+// Lo == Hi == 0 (the Fig 10/11 setting), otherwise a uniform random
+// layered graph.
+func (e Experiment) Build() (*Graph, int, int) {
+	rng := rand.New(rand.NewSource(e.Seed))
+	if e.Lo == 0 && e.Hi == 0 {
+		return PlantedGraph(e.Layers, e.Width, rng)
+	}
+	return LayeredGraph(e.Layers, e.Width, e.Lo, e.Hi, rng)
+}
+
+// Regret runs each named policy for K packets × Runs and returns the
+// cumulative regret curve per policy, averaged over runs:
+// R(k) = Σ_{j≤k} delay_j − k·D*(p*)   (paper Eq. 1).
+func (e Experiment) Regret(policies []string) map[string][]float64 {
+	g, src, dst := e.Build()
+	_, dStar := g.BestPath(src, dst)
+	out := make(map[string][]float64, len(policies))
+	for _, name := range policies {
+		curve := make([]float64, e.K)
+		for run := 0; run < e.Runs; run++ {
+			rng := rand.New(rand.NewSource(e.Seed + int64(1000+run)))
+			p := NewPolicy(name, g, src, dst)
+			cum := 0.0
+			for k := 0; k < e.K; k++ {
+				d, _ := p.SendPacket(rng)
+				cum += float64(d)
+				curve[k] += cum - float64(k+1)*dStar
+			}
+		}
+		for k := range curve {
+			curve[k] /= float64(e.Runs)
+		}
+		out[name] = curve
+	}
+	return out
+}
+
+// Frequencies reports, for one policy, how often each path rank (0 = true
+// best path) was selected within each of `buckets` consecutive packet
+// windows — the Fig 11 heatmap. It returns the matrix [bucket][rank] with
+// rows normalized to 1, and the number of distinct paths.
+func (e Experiment) Frequencies(policy string, buckets int) ([][]float64, int) {
+	g, src, dst := e.Build()
+	ranked, _ := g.RankPaths(src, dst)
+	rankOf := make(map[string]int, len(ranked))
+	for i, p := range ranked {
+		rankOf[pathKey(p)] = i
+	}
+	freq := make([][]float64, buckets)
+	for i := range freq {
+		freq[i] = make([]float64, len(ranked))
+	}
+	perBucket := (e.K + buckets - 1) / buckets
+	for run := 0; run < e.Runs; run++ {
+		rng := rand.New(rand.NewSource(e.Seed + int64(5000+run)))
+		p := NewPolicy(policy, g, src, dst)
+		for k := 0; k < e.K; k++ {
+			_, path := p.SendPacket(rng)
+			if r, ok := rankOf[pathKey(path)]; ok {
+				freq[k/perBucket][r]++
+			}
+		}
+	}
+	for _, row := range freq {
+		total := 0.0
+		for _, v := range row {
+			total += v
+		}
+		if total > 0 {
+			for i := range row {
+				row[i] /= total
+			}
+		}
+	}
+	return freq, len(ranked)
+}
+
+func pathKey(p []int) string {
+	b := make([]byte, 0, len(p)*3)
+	for _, v := range p {
+		b = append(b, byte(v), byte(v>>8), ';')
+	}
+	return string(b)
+}

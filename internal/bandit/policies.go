@@ -1,0 +1,306 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Policy routes packets one at a time and learns from the outcomes.
+type Policy interface {
+	Name() string
+	// SendPacket routes one packet from the policy's source to its
+	// destination. It returns the end-to-end delay (total transmission
+	// attempts across all traversed links) and the loop-free path taken.
+	SendPacket(rng *rand.Rand) (delay int, path []int)
+}
+
+// maxAttemptsPerLink caps retransmissions so a pathologically bad link
+// cannot stall an experiment (θ ≥ 0.05 in all workloads ⇒ cap is ~never hit).
+const maxAttemptsPerLink = 100000
+
+// linkStats tracks semi-bandit feedback for one link.
+type linkStats struct {
+	attempts  int
+	successes int
+}
+
+func (s *linkStats) thetaHat() float64 {
+	if s.attempts == 0 {
+		return 0
+	}
+	return float64(s.successes) / float64(s.attempts)
+}
+
+// statTable is the shared observation store of link-level policies.
+type statTable struct {
+	m     map[[2]int]*linkStats
+	total int // total transmission attempts so far (the time slot counter τ)
+}
+
+func newStatTable() *statTable { return &statTable{m: make(map[[2]int]*linkStats)} }
+
+func (t *statTable) get(u, v int) *linkStats {
+	k := [2]int{u, v}
+	s, ok := t.m[k]
+	if !ok {
+		s = &linkStats{}
+		t.m[k] = s
+	}
+	return s
+}
+
+// transmit attempts link u→v until success (geometric delay), recording
+// every attempt as feedback. It returns the number of attempts.
+func (t *statTable) transmit(g *Graph, u, v int, rng *rand.Rand) int {
+	th := g.Theta(u, v)
+	s := t.get(u, v)
+	attempts := 0
+	for {
+		attempts++
+		t.total++
+		s.attempts++
+		if rng.Float64() < th {
+			s.successes++
+			return attempts
+		}
+		if attempts >= maxAttemptsPerLink {
+			return attempts
+		}
+	}
+}
+
+// --- Totoro: distributed hop-by-hop KL-UCB (Algorithm 1) ---
+
+// HopByHop implements the paper's Algorithm 1. At every hop, node v picks
+// v' minimizing C(v,v') = ω(v,v') + J(v'): the optimistic link delay plus
+// the optimistic cost from v' to the destination, both recomputed from the
+// current semi-bandit statistics.
+type HopByHop struct {
+	g        *Graph
+	src, dst int
+	stats    *statTable
+	reach    []bool
+}
+
+// NewHopByHop builds the Totoro policy for a source-destination pair.
+func NewHopByHop(g *Graph, src, dst int) *HopByHop {
+	return &HopByHop{g: g, src: src, dst: dst, stats: newStatTable(), reach: g.Reachable(dst)}
+}
+
+// Name implements Policy.
+func (p *HopByHop) Name() string { return "totoro-hop-by-hop" }
+
+// omega is the empirical transmission cost with exploration adjustment:
+// ω(u,v) = min{1/u : u ∈ [θ̂,1], t'·KL(θ̂,u) ≤ log τ} = 1 / KLUCB(θ̂).
+func (p *HopByHop) omega(u, v int) float64 {
+	s := p.stats.get(u, v)
+	budget := math.Log(float64(p.stats.total + 1))
+	return 1 / KLUCBUpper(s.thetaHat(), s.attempts, budget)
+}
+
+// SendPacket implements Policy.
+func (p *HopByHop) SendPacket(rng *rand.Rand) (int, []int) {
+	delay := 0
+	path := []int{p.src}
+	visited := make(map[int]bool, 8)
+	visited[p.src] = true
+	cur := p.src
+	for cur != p.dst {
+		// J(w): optimistic cost-to-destination under current ω (line 4 of
+		// Algorithm 1, recomputed every slot).
+		j := p.g.CostToDest(p.dst, p.omega)
+		next, best := -1, math.MaxFloat64
+		for _, v := range p.g.Out(cur) {
+			if visited[v] || !p.reach[v] {
+				continue
+			}
+			if c := p.omega(cur, v) + j[v]; c < best {
+				next, best = v, c
+			}
+		}
+		if next < 0 {
+			// Loop-free constraint exhausted every neighbor (cannot happen
+			// on layered graphs); abandon with the delay spent so far.
+			break
+		}
+		delay += p.stats.transmit(p.g, cur, next, rng)
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	return delay, path
+}
+
+// --- baseline: empirical next-hop routing (Bhorkar et al.) ---
+
+// NextHop greedily picks the neighbor with the lowest *empirical* link
+// delay, with one optimistic free try per link and no lookahead: it can
+// latch onto a fast first hop that leads into a slow remainder, which is
+// exactly the failure mode Fig 10/11 show.
+type NextHop struct {
+	g        *Graph
+	src, dst int
+	stats    *statTable
+	reach    []bool
+}
+
+// NewNextHop builds the next-hop baseline.
+func NewNextHop(g *Graph, src, dst int) *NextHop {
+	return &NextHop{g: g, src: src, dst: dst, stats: newStatTable(), reach: g.Reachable(dst)}
+}
+
+// Name implements Policy.
+func (p *NextHop) Name() string { return "next-hop" }
+
+// SendPacket implements Policy.
+func (p *NextHop) SendPacket(rng *rand.Rand) (int, []int) {
+	delay := 0
+	path := []int{p.src}
+	visited := map[int]bool{p.src: true}
+	cur := p.src
+	for cur != p.dst {
+		next, best := -1, math.MaxFloat64
+		for _, v := range p.g.Out(cur) {
+			if visited[v] || !p.reach[v] {
+				continue
+			}
+			s := p.stats.get(cur, v)
+			cost := 1.0 // optimistic: unexplored links look perfect
+			if s.attempts > 0 {
+				th := s.thetaHat()
+				if th <= 0 {
+					cost = math.MaxFloat64 / 4
+				} else {
+					cost = 1 / th
+				}
+			}
+			if cost < best {
+				next, best = v, cost
+			}
+		}
+		if next < 0 {
+			break
+		}
+		delay += p.stats.transmit(p.g, cur, next, rng)
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	return delay, path
+}
+
+// --- baseline: end-to-end LCB routing (Gai et al.) ---
+
+// EndToEnd treats every loop-free path as one bandit arm and observes only
+// the total path delay (full-bandit feedback). It selects the path with
+// the lowest Hoeffding lower confidence bound. Because the number of arms
+// grows combinatorially, it is the slowest to find the optimum (Fig 11).
+type EndToEnd struct {
+	g        *Graph
+	src, dst int
+	paths    [][]int
+	plays    []int
+	sumDelay []float64
+	k        int
+}
+
+// NewEndToEnd builds the end-to-end baseline (path set capped at 4096).
+func NewEndToEnd(g *Graph, src, dst int) *EndToEnd {
+	paths := g.Paths(src, dst, 4096)
+	return &EndToEnd{
+		g: g, src: src, dst: dst,
+		paths:    paths,
+		plays:    make([]int, len(paths)),
+		sumDelay: make([]float64, len(paths)),
+	}
+}
+
+// Name implements Policy.
+func (p *EndToEnd) Name() string { return "end-to-end" }
+
+// SendPacket implements Policy.
+func (p *EndToEnd) SendPacket(rng *rand.Rand) (int, []int) {
+	p.k++
+	pick := -1
+	best := math.MaxFloat64
+	for i := range p.paths {
+		if p.plays[i] == 0 {
+			pick = i
+			break
+		}
+		mean := p.sumDelay[i] / float64(p.plays[i])
+		lcb := mean - math.Sqrt(2*math.Log(float64(p.k))/float64(p.plays[i]))*mean
+		if lcb < best {
+			pick, best = i, lcb
+		}
+	}
+	path := p.paths[pick]
+	delay := 0
+	for i := 0; i+1 < len(path); i++ {
+		th := p.g.Theta(path[i], path[i+1])
+		for {
+			delay++
+			if rng.Float64() < th {
+				break
+			}
+			if delay >= maxAttemptsPerLink {
+				break
+			}
+		}
+	}
+	p.plays[pick]++
+	p.sumDelay[pick] += float64(delay)
+	return delay, path
+}
+
+// --- oracle: optimal routing ---
+
+// Optimal always transmits along the true minimum-expected-delay path.
+type Optimal struct {
+	g    *Graph
+	path []int
+}
+
+// NewOptimal builds the omniscient baseline.
+func NewOptimal(g *Graph, src, dst int) *Optimal {
+	path, _ := g.BestPath(src, dst)
+	return &Optimal{g: g, path: path}
+}
+
+// Name implements Policy.
+func (p *Optimal) Name() string { return "optimal" }
+
+// SendPacket implements Policy.
+func (p *Optimal) SendPacket(rng *rand.Rand) (int, []int) {
+	delay := 0
+	for i := 0; i+1 < len(p.path); i++ {
+		th := p.g.Theta(p.path[i], p.path[i+1])
+		for {
+			delay++
+			if rng.Float64() < th {
+				break
+			}
+			if delay >= maxAttemptsPerLink {
+				break
+			}
+		}
+	}
+	return delay, p.path
+}
+
+// NewPolicy constructs a policy by name: "totoro", "next-hop",
+// "end-to-end", or "optimal".
+func NewPolicy(name string, g *Graph, src, dst int) Policy {
+	switch name {
+	case "totoro":
+		return NewHopByHop(g, src, dst)
+	case "next-hop":
+		return NewNextHop(g, src, dst)
+	case "end-to-end":
+		return NewEndToEnd(g, src, dst)
+	case "optimal":
+		return NewOptimal(g, src, dst)
+	}
+	panic(fmt.Sprintf("bandit: unknown policy %q", name))
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"totoro/internal/bandit"
+)
+
+// RegretCurves is the Fig 10 result: cumulative regret per policy over K
+// packets, averaged over runs.
+type RegretCurves struct {
+	K      int
+	Curves map[string][]float64
+}
+
+// fig10Experiment is the shared Fig 10/11 setup.
+func fig10Experiment(o Options) bandit.Experiment {
+	e := bandit.DefaultExperiment()
+	e.Seed = o.Seed
+	if o.Short {
+		e.K, e.Runs = 600, 3
+	}
+	return e
+}
+
+// Fig10Regret compares the cumulative regret of Totoro's hop-by-hop
+// KL-UCB planner against end-to-end LCB routing, empirical next-hop
+// routing, and the omniscient optimal policy (Fig 10): Totoro achieves
+// the lowest regret because it accounts for the cost of the whole
+// remaining path, not just the next link.
+func Fig10Regret(o Options) RegretCurves {
+	e := fig10Experiment(o)
+	curves := e.Regret([]string{"totoro", "next-hop", "end-to-end", "optimal"})
+	return RegretCurves{K: e.K, Curves: curves}
+}
+
+// FrequencyGrid is the Fig 11 result for one policy: rows are consecutive
+// packet windows, columns are paths ordered best→worst, cells are
+// selection frequencies (each row sums to 1).
+type FrequencyGrid struct {
+	Policy  string
+	Buckets int
+	Paths   int
+	Grid    [][]float64
+}
+
+// Fig11PathFrequencies reports how often each policy selects the x-th best
+// path as packets flow (Fig 11): Totoro locks onto the optimal path the
+// fastest; next-hop mixes in mediocre paths; end-to-end is last to find
+// the optimum.
+func Fig11PathFrequencies(o Options) []FrequencyGrid {
+	e := fig10Experiment(o)
+	const buckets = 8
+	var out []FrequencyGrid
+	for _, pol := range []string{"optimal", "totoro", "next-hop", "end-to-end"} {
+		grid, paths := e.Frequencies(pol, buckets)
+		out = append(out, FrequencyGrid{Policy: pol, Buckets: buckets, Paths: paths, Grid: grid})
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	totoro "totoro"
+	"totoro/internal/baseline"
+	"totoro/internal/ring"
+	"totoro/internal/workload"
+)
+
+// OverheadRow is one measurement of Fig 13: real CPU seconds and bytes
+// allocated for one system and phase.
+type OverheadRow struct {
+	System string
+	Phase  string // "dht" (overlay + tree construction) or "fl" (training)
+	CPUSec float64
+	// AllocMB is the memory allocated during the phase (monotone
+	// runtime.MemStats.TotalAlloc delta, robust against GC timing).
+	AllocMB float64
+}
+
+// Fig13Overhead trains a small feedforward text-classification model over
+// a single 10-worker Totoro dataflow tree and compares real resource usage
+// against the OpenFL-like baseline, split into DHT-related and FL-related
+// work (Fig 13). Because the whole simulation is single-threaded, wall
+// time approximates CPU time; heap growth is sampled with
+// runtime.ReadMemStats (TotalAlloc) around each phase.
+func Fig13Overhead(o Options) []OverheadRow {
+	apps := workload.MakeApps(workload.Params{
+		Task:             workload.TaskSpeech,
+		Apps:             1,
+		ClientsPerApp:    10,
+		SamplesPerClient: 50,
+		Seed:             o.Seed,
+	})
+	apps[0].MaxRounds = 8
+	apps[0].TargetAccuracy = 0.999
+
+	var out []OverheadRow
+
+	// Totoro: DHT phase (overlay + tree construction) then FL phase.
+	alloc0 := allocMB()
+	t0 := time.Now()
+	c := totoro.NewCluster(totoro.ClusterConfig{N: 14, Seed: o.Seed, Ring: ring.Config{B: 3}})
+	id := c.DeployOnRandomNodes(apps[0])
+	dhtCPU := time.Since(t0).Seconds()
+	alloc1 := allocMB()
+	out = append(out, OverheadRow{System: "totoro", Phase: "dht", CPUSec: dhtCPU, AllocMB: alloc1 - alloc0})
+
+	t1 := time.Now()
+	c.Train(id)
+	flCPU := time.Since(t1).Seconds()
+	alloc2 := allocMB()
+	out = append(out, OverheadRow{System: "totoro", Phase: "fl", CPUSec: flCPU, AllocMB: alloc2 - alloc1})
+
+	// OpenFL-like baseline: same workload, no DHT phase.
+	apps2 := workload.MakeApps(workload.Params{
+		Task:             workload.TaskSpeech,
+		Apps:             1,
+		ClientsPerApp:    10,
+		SamplesPerClient: 50,
+		Seed:             o.Seed,
+	})
+	apps2[0].MaxRounds = 8
+	apps2[0].TargetAccuracy = 0.999
+	alloc3 := allocMB()
+	t2 := time.Now()
+	be := baseline.New(apps2, baseline.Config{Profile: baseline.OpenFL(), ClientNodes: 14, Seed: o.Seed})
+	be.Run()
+	out = append(out, OverheadRow{
+		System: "openfl", Phase: "fl",
+		CPUSec:  time.Since(t2).Seconds(),
+		AllocMB: allocMB() - alloc3,
+	})
+	return out
+}
+
+func allocMB() float64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.TotalAlloc) / (1 << 20)
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"totoro/internal/ids"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+)
+
+// ScaleRow is one point of Fig 6a/6b: a tree of N members on an edge
+// network, with the measured model-dissemination and gradient-aggregation
+// times and the tree depth.
+type ScaleRow struct {
+	Members         int
+	Depth           int
+	DisseminationMs float64
+	AggregationMs   float64
+}
+
+// fig6ModelBytes is the serialized model size shipped in the Fig 6
+// experiments (a mid-sized edge model).
+const fig6ModelBytes = 100 << 10
+
+// Fig6Scale measures Totoro's model dissemination and gradient aggregation
+// times for an exponentially increasing number of edge nodes in a single
+// training tree (20 → 5120; Fig 6a and 6b): time grows linearly while
+// membership grows exponentially because both operations are bounded by
+// the O(log N) tree depth.
+func Fig6Scale(o Options, b int) []ScaleRow {
+	sizes := []int{20, 40, 80, 160, 320, 640, 1280, 2560, 5120}
+	if o.Short {
+		sizes = []int{20, 80, 320, 1280}
+	}
+	var out []ScaleRow
+	for _, n := range sizes {
+		out = append(out, measureTree(o, b, n))
+	}
+	return out
+}
+
+// measureTree builds one tree with n subscribers and times a broadcast and
+// an aggregation round over it.
+func measureTree(o Options, b, n int) ScaleRow {
+	type rec struct {
+		lastDeliver time.Duration
+		aggDone     time.Duration
+	}
+	var r rec
+	network := n + n/4 + 50
+	topic := ids.Hash("fig6-app", fmt.Sprint(b), fmt.Sprint(n))
+	// Latency-dominated regime (no NIC serialization): dissemination and
+	// aggregation time are then exactly the tree-depth staircase the paper
+	// reports; Fig 7 and Table 3 cover the bandwidth-bound regimes.
+	f := newForest(forestConfig{
+		N:    network,
+		Ring: ring.Config{B: b},
+		Seed: o.Seed + int64(n),
+	})
+	for _, s := range f.Stacks {
+		s.PS.SetHandlers(pubsub.Handlers{
+			OnDeliver: func(t ids.ID, obj any, depth int, sub bool) {
+				if sub && f.Net.Now() > r.lastDeliver {
+					r.lastDeliver = f.Net.Now()
+				}
+			},
+			OnAggregate: func(t ids.ID, round int, obj any, count int) {
+				r.aggDone = f.Net.Now()
+			},
+		})
+	}
+	f.subscribeDistinct(topic, n)
+	levels := f.treeLevels(topic)
+
+	// Dissemination: root publishes one model; time to the last subscriber.
+	var root *stack
+	for _, s := range f.Stacks {
+		if info, ok := s.PS.TreeInfo(topic); ok && info.IsRoot {
+			root = s
+			break
+		}
+	}
+	start := f.Net.Now()
+	root.PS.Publish(topic, modelObj{Bytes: fig6ModelBytes})
+	f.Net.RunUntilIdle()
+	dissem := r.lastDeliver - start
+
+	// Aggregation: every member submits simultaneously; time until the
+	// root's combined aggregate lands.
+	start = f.Net.Now()
+	for _, s := range f.Stacks {
+		info, ok := s.PS.TreeInfo(topic)
+		if !ok || !info.Attached {
+			continue
+		}
+		if info.Subscribed {
+			s.PS.SubmitUpdate(topic, 1, modelObj{Bytes: fig6ModelBytes})
+		} else {
+			s.PS.SubmitUpdate(topic, 1, nil)
+		}
+	}
+	f.Net.RunUntilIdle()
+	agg := r.aggDone - start
+
+	return ScaleRow{
+		Members:         n,
+		Depth:           len(levels) - 1,
+		DisseminationMs: float64(dissem) / float64(time.Millisecond),
+		AggregationMs:   float64(agg) / float64(time.Millisecond),
+	}
+}
+
+// FanoutRow is one point of Fig 6c: dissemination time by tree fanout.
+type FanoutRow struct {
+	Fanout          int
+	Depth           int
+	DisseminationMs float64
+}
+
+// Fig6cFanout measures model dissemination time for tree fanouts 8, 16,
+// and 32 (routing bases 3, 4, 5) at a fixed membership: larger fanouts
+// give shallower trees and faster dissemination (Fig 6c).
+func Fig6cFanout(o Options) []FanoutRow {
+	n := 2000
+	if o.Short {
+		n = 500
+	}
+	var out []FanoutRow
+	for _, b := range []int{3, 4, 5} {
+		row := measureTree(o, b, n)
+		out = append(out, FanoutRow{
+			Fanout:          1 << uint(b),
+			Depth:           row.Depth,
+			DisseminationMs: row.DisseminationMs,
+		})
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	totoro "totoro"
+	"totoro/internal/baseline"
+	"totoro/internal/ring"
+	"totoro/internal/workload"
+)
+
+// Table3Row is one row of the time-to-accuracy comparison (Table 3): a
+// task, a number of concurrently running applications, and a Totoro tree
+// fanout, with the total time to finish every application under each
+// engine and the resulting speedups.
+type Table3Row struct {
+	Task            string
+	Apps            int
+	Fanout          int
+	TotoroSec       float64
+	OpenFLSec       float64
+	FedScaleSec     float64
+	SpeedupOpenFL   float64
+	SpeedupFedScale float64
+}
+
+// CurvePoint is one (time, mean-accuracy) sample of a training run — the
+// Fig 8/9 accuracy-over-time series.
+type CurvePoint struct {
+	Sec     float64
+	MeanAcc float64
+}
+
+// Table3Result bundles the table with the Fig 8/9 curves (keyed by
+// "system/task/apps", e.g. "totoro/speech/10").
+type Table3Result struct {
+	Rows   []Table3Row
+	Curves map[string][]CurvePoint
+}
+
+// table3Workload builds the concurrent-application workload for one cell.
+func table3Workload(task workload.Task, apps int, o Options) []*workload.App {
+	clients, samples := 16, 50
+	if o.Short {
+		clients, samples = 8, 30
+	}
+	as := workload.MakeApps(workload.Params{
+		Task:             task,
+		Apps:             apps,
+		ClientsPerApp:    clients,
+		SamplesPerClient: samples,
+		Seed:             o.Seed + int64(apps)*1000,
+	})
+	if o.Short {
+		for _, a := range as {
+			a.MaxRounds = 10
+			a.TargetAccuracy = 0.35
+		}
+	}
+	return as
+}
+
+// Table3 reproduces the paper's time-to-accuracy comparison: 5–20 models
+// are trained simultaneously on the same platform under Totoro (fanouts
+// 8, 16, 32) and under the OpenFL-like and FedScale-like centralized
+// baselines. Speedups grow with the number of concurrent applications
+// because the centralized coordinator handles apps one by one while
+// Totoro's per-app masters run in parallel (§7.4).
+func Table3(o Options) Table3Result {
+	res := Table3Result{Curves: map[string][]CurvePoint{}}
+	tasks := []workload.Task{workload.TaskSpeech, workload.TaskFEMNIST}
+	appCounts := []int{5, 10, 20}
+	fanouts := []int{8, 16, 32}
+	if o.Short {
+		appCounts = []int{3, 6}
+		fanouts = []int{16}
+	}
+	for _, task := range tasks {
+		for _, apps := range appCounts {
+			central := map[string]time.Duration{}
+			for _, prof := range []baseline.Profile{baseline.OpenFL(), baseline.FedScale()} {
+				ws := table3Workload(task, apps, o)
+				dur, curve := runCentral(ws, prof, o)
+				central[prof.Name] = dur
+				res.Curves[prof.Name+"/"+string(task)+"/"+itoa(apps)] = curve
+			}
+			for _, fanout := range fanouts {
+				ws := table3Workload(task, apps, o)
+				dur, curve := runTotoro(ws, fanout, o)
+				if fanout == fanouts[len(fanouts)-1] {
+					res.Curves["totoro/"+string(task)+"/"+itoa(apps)] = curve
+				}
+				res.Rows = append(res.Rows, Table3Row{
+					Task:            string(task),
+					Apps:            apps,
+					Fanout:          fanout,
+					TotoroSec:       dur.Seconds(),
+					OpenFLSec:       central["openfl"].Seconds(),
+					FedScaleSec:     central["fedscale"].Seconds(),
+					SpeedupOpenFL:   central["openfl"].Seconds() / dur.Seconds(),
+					SpeedupFedScale: central["fedscale"].Seconds() / dur.Seconds(),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// runCentral trains the workload on a centralized baseline and returns the
+// total completion time (all apps) plus the mean-accuracy curve.
+func runCentral(apps []*workload.App, prof baseline.Profile, o Options) (time.Duration, []CurvePoint) {
+	nodes := 300
+	if o.Short {
+		nodes = 60
+	}
+	e := baseline.New(apps, baseline.Config{Profile: prof, ClientNodes: nodes, Seed: o.Seed})
+	progress := e.Run()
+	return totalDone(progress), meanCurve(progress)
+}
+
+// runTotoro trains the workload on a Totoro cluster with the given tree
+// fanout and returns total completion time plus the mean-accuracy curve.
+func runTotoro(apps []*workload.App, fanout int, o Options) (time.Duration, []CurvePoint) {
+	b := 4
+	switch fanout {
+	case 8:
+		b = 3
+	case 16:
+		b = 4
+	case 32:
+		b = 5
+	}
+	nodes := 300
+	if o.Short {
+		nodes = 60
+	}
+	c := totoro.NewCluster(totoro.ClusterConfig{
+		N:         nodes,
+		Seed:      o.Seed,
+		Ring:      ring.Config{B: b},
+		Bandwidth: 2 << 20,
+	})
+	var appIDs []totoro.AppID
+	for _, a := range apps {
+		appIDs = append(appIDs, c.DeployOnRandomNodes(a))
+	}
+	progress := c.Train(appIDs...)
+	return totalDone(progress), meanCurve(progress)
+}
+
+func totalDone(progress []*workload.Progress) time.Duration {
+	var worst time.Duration
+	for _, p := range progress {
+		if p.Done > worst {
+			worst = p.Done
+		}
+	}
+	return worst
+}
+
+// meanCurve merges per-app trajectories into a single mean-accuracy-over-
+// time curve: at every recorded instant, each app contributes its latest
+// accuracy so far.
+func meanCurve(progress []*workload.Progress) []CurvePoint {
+	type ev struct {
+		t   time.Duration
+		app int
+		acc float64
+	}
+	var evs []ev
+	for i, p := range progress {
+		for _, pt := range p.Points {
+			evs = append(evs, ev{t: pt.Time, app: i, acc: pt.Accuracy})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+	latest := make([]float64, len(progress))
+	var out []CurvePoint
+	for _, e := range evs {
+		latest[e.app] = e.acc
+		sum := 0.0
+		for _, a := range latest {
+			sum += a
+		}
+		out = append(out, CurvePoint{Sec: e.t.Seconds(), MeanAcc: sum / float64(len(latest))})
+	}
+	return out
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,81 @@
+package fl
+
+import (
+	"math"
+	"sort"
+)
+
+// Compressor lossily compresses an update before it is shipped over the
+// edge network. Apply returns the reconstruction the receiver would decode
+// and the number of bytes the compressed form costs on the wire, which the
+// traffic experiments charge instead of the dense size. Application owners
+// pick a compressor per application (Broadcast API, Table 2).
+type Compressor interface {
+	Name() string
+	Apply(v []float64) (recon []float64, wireBytes int)
+}
+
+// NoCompression ships dense float64s.
+type NoCompression struct{}
+
+// Name implements Compressor.
+func (NoCompression) Name() string { return "none" }
+
+// Apply implements Compressor.
+func (NoCompression) Apply(v []float64) ([]float64, int) {
+	return append([]float64(nil), v...), 8 * len(v)
+}
+
+// TopK keeps only the K largest-magnitude coordinates (sparsification);
+// the wire form is K (index, value) pairs.
+type TopK struct{ K int }
+
+// Name implements Compressor.
+func (c TopK) Name() string { return "topk" }
+
+// Apply implements Compressor.
+func (c TopK) Apply(v []float64) ([]float64, int) {
+	k := c.K
+	if k >= len(v) || k <= 0 {
+		return append([]float64(nil), v...), 8 * len(v)
+	}
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(v[idx[a]]) > math.Abs(v[idx[b]])
+	})
+	out := make([]float64, len(v))
+	for _, i := range idx[:k] {
+		out[i] = v[i]
+	}
+	return out, k * 12 // 4-byte index + 8-byte value
+}
+
+// QuantizeInt8 maps every coordinate to a signed 8-bit level of a shared
+// absolute-max scale.
+type QuantizeInt8 struct{}
+
+// Name implements Compressor.
+func (QuantizeInt8) Name() string { return "int8" }
+
+// Apply implements Compressor.
+func (QuantizeInt8) Apply(v []float64) ([]float64, int) {
+	maxAbs := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	out := make([]float64, len(v))
+	if maxAbs == 0 {
+		return out, len(v) + 8
+	}
+	scale := maxAbs / 127
+	for i, x := range v {
+		q := math.Round(x / scale)
+		out[i] = q * scale
+	}
+	return out, len(v) + 8 // one byte per weight + the scale
+}

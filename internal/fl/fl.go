@@ -1,0 +1,134 @@
+// Package fl implements the federated-learning algorithms Totoro runs on
+// top of its forest abstraction: weighted FedAvg and FedProx aggregation,
+// client-side local training, participant selection policies, and gradient
+// compression. The pieces are pure functions over flat parameter vectors so
+// that the same logic runs inside the decentralized Totoro engine, the
+// centralized baselines, and the unit tests.
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"totoro/internal/ml"
+)
+
+// Update is one client's contribution to a round: the parameter delta it
+// computed locally and the number of samples that backed it.
+type Update struct {
+	Delta   []float64
+	Samples int
+}
+
+// Accum is the associative, commutative partial aggregate that flows up a
+// Totoro dataflow tree: the sample-weighted sum of deltas plus counters.
+// Interior tree nodes merge Accums (in-network aggregation); the root
+// resolves the weighted mean.
+type Accum struct {
+	WeightedSum []float64
+	Samples     int
+	Count       int
+}
+
+// NewAccum starts an aggregate from a single update.
+func NewAccum(u Update) *Accum {
+	ws := make([]float64, len(u.Delta))
+	w := float64(u.Samples)
+	for i, v := range u.Delta {
+		ws[i] = v * w
+	}
+	return &Accum{WeightedSum: ws, Samples: u.Samples, Count: 1}
+}
+
+// Merge folds two partial aggregates (either may be nil).
+func Merge(a, b *Accum) *Accum {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if len(a.WeightedSum) != len(b.WeightedSum) {
+		panic(fmt.Sprintf("fl: merging aggregates of different sizes %d vs %d",
+			len(a.WeightedSum), len(b.WeightedSum)))
+	}
+	out := &Accum{
+		WeightedSum: make([]float64, len(a.WeightedSum)),
+		Samples:     a.Samples + b.Samples,
+		Count:       a.Count + b.Count,
+	}
+	for i := range out.WeightedSum {
+		out.WeightedSum[i] = a.WeightedSum[i] + b.WeightedSum[i]
+	}
+	return out
+}
+
+// MeanDelta resolves the FedAvg weighted-average delta. Nil if empty.
+func (a *Accum) MeanDelta() []float64 {
+	if a == nil || a.Samples == 0 {
+		return nil
+	}
+	out := make([]float64, len(a.WeightedSum))
+	w := float64(a.Samples)
+	for i, v := range a.WeightedSum {
+		out[i] = v / w
+	}
+	return out
+}
+
+// ApplyDelta adds delta into global in place.
+func ApplyDelta(global, delta []float64) {
+	for i := range global {
+		global[i] += delta[i]
+	}
+}
+
+// ClientConfig controls one client's local optimization.
+type ClientConfig struct {
+	LocalEpochs int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	// ProxMu > 0 enables FedProx: the local objective gains
+	// μ/2·‖w − w_global‖², stabilizing convergence under non-IID data.
+	ProxMu float64
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 20 // the paper's minibatch size (§7.1)
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	return c
+}
+
+// LocalTrain runs one client's local update starting from the global
+// parameters and returns the resulting delta. proto supplies the model
+// architecture (it is cloned, never mutated).
+func LocalTrain(proto *ml.MLP, global []float64, data *ml.Dataset, cfg ClientConfig, rng *rand.Rand) Update {
+	cfg = cfg.withDefaults()
+	if data.Len() == 0 {
+		return Update{}
+	}
+	m := proto.Clone()
+	m.SetParams(global)
+	opt := &ml.SGD{LR: cfg.LR, Momentum: cfg.Momentum}
+	var anchor []float64
+	if cfg.ProxMu > 0 {
+		anchor = global
+	}
+	for e := 0; e < cfg.LocalEpochs; e++ {
+		ml.TrainEpoch(m, data, cfg.BatchSize, opt, cfg.ProxMu, anchor, rng)
+	}
+	after := m.Params()
+	delta := make([]float64, len(after))
+	for i := range delta {
+		delta[i] = after[i] - global[i]
+	}
+	return Update{Delta: delta, Samples: data.Len()}
+}

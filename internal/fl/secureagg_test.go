@@ -1,0 +1,143 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPairwiseMaskAntisymmetric(t *testing.T) {
+	a := PairwiseMask("alice", "bob", 3, 64)
+	b := PairwiseMask("bob", "alice", 3, 64)
+	for i := range a {
+		if a[i] != -b[i] {
+			t.Fatalf("mask not antisymmetric at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPairwiseMaskVariesWithRoundAndPair(t *testing.T) {
+	a := PairwiseMask("alice", "bob", 1, 32)
+	b := PairwiseMask("alice", "bob", 2, 32)
+	c := PairwiseMask("alice", "carol", 1, 32)
+	same := func(x, y []float64) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, b) {
+		t.Fatal("mask identical across rounds")
+	}
+	if same(a, c) {
+		t.Fatal("mask identical across pairs")
+	}
+}
+
+func TestPairwiseMaskBoundedAndNontrivial(t *testing.T) {
+	m := PairwiseMask("x", "y", 0, 256)
+	nonzero := 0
+	for _, v := range m {
+		if v < -1 || v >= 1 {
+			t.Fatalf("mask value %v out of [-1,1)", v)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 200 {
+		t.Fatalf("mask suspiciously sparse: %d nonzero of 256", nonzero)
+	}
+}
+
+func TestSecureRoundMasksCancelExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	updates := map[string][]float64{}
+	dim := 50
+	want := make([]float64, dim)
+	for c := 0; c < 12; c++ {
+		u := make([]float64, dim)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+			want[i] += u[i]
+		}
+		updates[fmt.Sprintf("client-%02d", c)] = u
+	}
+	got, err := SecureRound(updates, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("sum mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaskedUpdateHidesPlaintext(t *testing.T) {
+	// A single masked update must differ substantially from the plaintext:
+	// the server learns nothing from one vector alone.
+	delta := make([]float64, 40)
+	for i := range delta {
+		delta[i] = 0.001 * float64(i)
+	}
+	masked := MaskUpdate("alice", []string{"alice", "bob", "carol"}, 1, delta)
+	diff := 0.0
+	for i := range delta {
+		diff += math.Abs(masked[i] - delta[i])
+	}
+	if diff < 1.0 {
+		t.Fatalf("masking barely changed the update (L1 diff %v)", diff)
+	}
+}
+
+func TestUnmaskDropouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	names := []string{"a", "b", "c", "d", "e"}
+	dim := 30
+	round := 9
+	updates := map[string][]float64{}
+	for _, n := range names {
+		u := make([]float64, dim)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		updates[n] = u
+	}
+	// Everyone masks against the full roster, but "e" drops before upload.
+	survivors := names[:4]
+	sum := make([]float64, dim)
+	for _, n := range survivors {
+		masked := MaskUpdate(n, names, round, updates[n])
+		for i := range sum {
+			sum[i] += masked[i]
+		}
+	}
+	// Residual masks (survivor, e) must be recovered.
+	recovered := UnmaskDropouts(sum, survivors, []string{"e"}, round)
+	want := make([]float64, dim)
+	for _, n := range survivors {
+		for i := range want {
+			want[i] += updates[n][i]
+		}
+	}
+	for i := range want {
+		if math.Abs(recovered[i]-want[i]) > 1e-6 {
+			t.Fatalf("dropout recovery failed at %d: %v vs %v", i, recovered[i], want[i])
+		}
+	}
+}
+
+func TestSecureRoundRejectsBadInput(t *testing.T) {
+	if _, err := SecureRound(nil, 1); err == nil {
+		t.Fatal("empty round accepted")
+	}
+	if _, err := SecureRound(map[string][]float64{
+		"a": {1, 2}, "b": {1},
+	}, 1); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ClientInfo is the per-client bookkeeping a selector may use.
+type ClientInfo struct {
+	ID      int
+	Samples int
+	// LastLoss is the client's most recent training loss (0 if never
+	// selected — treated as unexplored).
+	LastLoss float64
+	// Rounds counts how often the client has participated.
+	Rounds int
+}
+
+// Selector chooses k participants for a round. Application owners plug
+// their own policy per application (§2.2.1 "application-specific
+// customization"); two standard ones are provided.
+type Selector interface {
+	Name() string
+	Select(k int, clients []ClientInfo, rng *rand.Rand) []int
+}
+
+// RandomSelector samples k distinct clients uniformly (FedAvg default).
+type RandomSelector struct{}
+
+// Name implements Selector.
+func (RandomSelector) Name() string { return "random" }
+
+// Select implements Selector.
+func (RandomSelector) Select(k int, clients []ClientInfo, rng *rand.Rand) []int {
+	if k >= len(clients) {
+		out := make([]int, len(clients))
+		for i := range out {
+			out[i] = clients[i].ID
+		}
+		return out
+	}
+	perm := rng.Perm(len(clients))
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = clients[perm[i]].ID
+	}
+	return out
+}
+
+// OortSelector is a lightweight version of Oort's guided participant
+// selection: exploit clients with high statistical utility
+// (loss · sqrt(samples)) while reserving an exploration fraction for
+// never-selected clients.
+type OortSelector struct {
+	// ExploreFrac of each round's slots go to unexplored clients
+	// (default 0.2).
+	ExploreFrac float64
+}
+
+// Name implements Selector.
+func (OortSelector) Name() string { return "oort" }
+
+// Select implements Selector.
+func (s OortSelector) Select(k int, clients []ClientInfo, rng *rand.Rand) []int {
+	ef := s.ExploreFrac
+	if ef == 0 {
+		ef = 0.2
+	}
+	if k >= len(clients) {
+		return RandomSelector{}.Select(k, clients, rng)
+	}
+	var explored, unexplored []ClientInfo
+	for _, c := range clients {
+		if c.Rounds == 0 {
+			unexplored = append(unexplored, c)
+		} else {
+			explored = append(explored, c)
+		}
+	}
+	nExplore := int(math.Round(float64(k) * ef))
+	if nExplore > len(unexplored) {
+		nExplore = len(unexplored)
+	}
+	nExploit := k - nExplore
+
+	sort.Slice(explored, func(i, j int) bool {
+		return utility(explored[i]) > utility(explored[j])
+	})
+	out := make([]int, 0, k)
+	for i := 0; i < nExploit && i < len(explored); i++ {
+		out = append(out, explored[i].ID)
+	}
+	rng.Shuffle(len(unexplored), func(i, j int) {
+		unexplored[i], unexplored[j] = unexplored[j], unexplored[i]
+	})
+	for i := 0; len(out) < k && i < len(unexplored); i++ {
+		out = append(out, unexplored[i].ID)
+	}
+	// Backfill from remaining explored clients if needed.
+	for i := nExploit; len(out) < k && i < len(explored); i++ {
+		out = append(out, explored[i].ID)
+	}
+	return out
+}
+
+func utility(c ClientInfo) float64 {
+	return c.LastLoss * math.Sqrt(float64(c.Samples))
+}

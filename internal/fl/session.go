@@ -1,0 +1,105 @@
+package fl
+
+import (
+	"math/rand"
+
+	"totoro/internal/ml"
+)
+
+// Session drives the pure FL algorithm for one application — selection,
+// local training, compression, aggregation, apply — with no networking or
+// timing. The decentralized engine and the centralized baselines both
+// delegate the algorithmic steps here so that their comparison isolates
+// the system architecture.
+type Session struct {
+	Proto   *ml.MLP
+	Global  []float64
+	Clients []*ml.Dataset
+	Test    *ml.Dataset
+	Cfg     ClientConfig
+	Sel     Selector
+	Comp    Compressor
+
+	infos []ClientInfo
+	round int
+}
+
+// NewSession initializes a session; proto supplies both architecture and
+// the initial global parameters.
+func NewSession(proto *ml.MLP, clients []*ml.Dataset, test *ml.Dataset, cfg ClientConfig, sel Selector, comp Compressor) *Session {
+	if sel == nil {
+		sel = RandomSelector{}
+	}
+	if comp == nil {
+		comp = NoCompression{}
+	}
+	s := &Session{
+		Proto:   proto,
+		Global:  proto.Params(),
+		Clients: clients,
+		Test:    test,
+		Cfg:     cfg,
+		Sel:     sel,
+		Comp:    comp,
+	}
+	for i, c := range clients {
+		s.infos = append(s.infos, ClientInfo{ID: i, Samples: c.Len()})
+	}
+	return s
+}
+
+// RoundStats summarizes one completed round.
+type RoundStats struct {
+	Round      int
+	Selected   []int
+	UpdateSize int // compressed bytes of one client update
+	Accuracy   float64
+}
+
+// Round executes one synchronous FL round with perRound participants and
+// returns its stats.
+func (s *Session) Round(perRound int, rng *rand.Rand) RoundStats {
+	s.round++
+	selected := s.Sel.Select(perRound, s.infos, rng)
+	var agg *Accum
+	updateBytes := 0
+	for _, id := range selected {
+		u := LocalTrain(s.Proto, s.Global, s.Clients[id], s.Cfg, rng)
+		if u.Samples == 0 {
+			continue
+		}
+		recon, bytes := s.Comp.Apply(u.Delta)
+		u.Delta = recon
+		updateBytes = bytes
+		agg = Merge(agg, NewAccum(u))
+		s.infos[id].Rounds++
+		s.infos[id].LastLoss = lossProxy(u)
+	}
+	if d := agg.MeanDelta(); d != nil {
+		ApplyDelta(s.Global, d)
+	}
+	return RoundStats{
+		Round:      s.round,
+		Selected:   selected,
+		UpdateSize: updateBytes,
+		Accuracy:   s.Accuracy(),
+	}
+}
+
+// Accuracy evaluates the current global model on the held-out test set.
+func (s *Session) Accuracy() float64 {
+	m := s.Proto.Clone()
+	m.SetParams(s.Global)
+	return m.Accuracy(s.Test)
+}
+
+// lossProxy scores an update's magnitude as a cheap stand-in for client
+// loss (larger drift ⇒ more to learn), keeping selection deterministic
+// without a second forward pass.
+func lossProxy(u Update) float64 {
+	s := 0.0
+	for _, v := range u.Delta {
+		s += v * v
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+package ml
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeParams serializes a flat parameter vector into the binary format
+// Totoro ships over the overlay (§6: "a serialization mechanism to convert
+// trained models into binary arrays for low-cost communication").
+// Layout: uint32 count, then count little-endian float64s.
+func EncodeParams(p []float64) []byte {
+	out := make([]byte, 4+8*len(p))
+	binary.LittleEndian.PutUint32(out, uint32(len(p)))
+	for i, v := range p {
+		binary.LittleEndian.PutUint64(out[4+8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeParams parses the EncodeParams format.
+func DecodeParams(b []byte) ([]float64, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("ml: short parameter buffer (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if len(b) != 4+8*n {
+		return nil, fmt.Errorf("ml: parameter buffer length %d does not match count %d", len(b), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[4+8*i:]))
+	}
+	return out, nil
+}

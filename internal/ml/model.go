@@ -1,0 +1,279 @@
+// Package ml is a small, dependency-free neural-network training stack.
+//
+// It stands in for the paper's Keras layer (§6): multi-layer perceptrons
+// with ReLU activations and a softmax cross-entropy head, trained by
+// mini-batch SGD with momentum and weight decay. Totoro's evaluation
+// measures *system* effects — time-to-accuracy under concurrent
+// applications, serialization cost, aggregation topology — so any model
+// whose loss falls with aggregated training reproduces those effects; the
+// paper's ResNet-34 and ShuffleNet V2 are replaced by MLPs of matching
+// role (see DESIGN.md §1).
+//
+// Everything is deterministic given a *rand.Rand, which the experiment
+// harness relies on.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a multi-layer perceptron with ReLU hidden layers and a softmax
+// cross-entropy output.
+type MLP struct {
+	// Sizes is [inputDim, hidden..., numClasses].
+	Sizes []int
+	// W[l] is the (Sizes[l] × Sizes[l+1]) weight matrix, row-major.
+	W [][]float64
+	// B[l] is the bias vector of layer l.
+	B [][]float64
+}
+
+// NewMLP creates an MLP with Xavier/Glorot-uniform initialization.
+func NewMLP(sizes []int, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("ml: MLP needs at least input and output sizes")
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		limit := math.Sqrt(6.0 / float64(in+out))
+		w := make([]float64, in*out)
+		for i := range w {
+			w[i] = (rng.Float64()*2 - 1) * limit
+		}
+		m.W = append(m.W, w)
+		m.B = append(m.B, make([]float64, out))
+	}
+	return m
+}
+
+// Clone deep-copies the model.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Sizes: append([]int(nil), m.Sizes...)}
+	for l := range m.W {
+		c.W = append(c.W, append([]float64(nil), m.W[l]...))
+		c.B = append(c.B, append([]float64(nil), m.B[l]...))
+	}
+	return c
+}
+
+// NumParams returns the total number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.W {
+		n += len(m.W[l]) + len(m.B[l])
+	}
+	return n
+}
+
+// Params flattens all parameters into one vector (copy).
+func (m *MLP) Params() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for l := range m.W {
+		out = append(out, m.W[l]...)
+		out = append(out, m.B[l]...)
+	}
+	return out
+}
+
+// SetParams installs a flat parameter vector produced by Params.
+func (m *MLP) SetParams(p []float64) {
+	if len(p) != m.NumParams() {
+		panic(fmt.Sprintf("ml: SetParams length %d want %d", len(p), m.NumParams()))
+	}
+	off := 0
+	for l := range m.W {
+		off += copy(m.W[l], p[off:off+len(m.W[l])])
+		off += copy(m.B[l], p[off:off+len(m.B[l])])
+	}
+}
+
+// Forward computes the class logits for one input.
+func (m *MLP) Forward(x []float64) []float64 {
+	a := x
+	for l := range m.W {
+		a = m.layerForward(l, a, l+1 < len(m.W))
+	}
+	return a
+}
+
+func (m *MLP) layerForward(l int, a []float64, relu bool) []float64 {
+	in, out := m.Sizes[l], m.Sizes[l+1]
+	z := make([]float64, out)
+	copy(z, m.B[l])
+	w := m.W[l]
+	for i := 0; i < in; i++ {
+		ai := a[i]
+		if ai == 0 {
+			continue
+		}
+		row := w[i*out : (i+1)*out]
+		for j, wij := range row {
+			z[j] += ai * wij
+		}
+	}
+	if relu {
+		for j := range z {
+			if z[j] < 0 {
+				z[j] = 0
+			}
+		}
+	}
+	return z
+}
+
+// Predict returns the argmax class for one input.
+func (m *MLP) Predict(x []float64) int {
+	logits := m.Forward(x)
+	best := 0
+	for j := 1; j < len(logits); j++ {
+		if logits[j] > logits[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates top-1 accuracy over a dataset.
+func (m *MLP) Accuracy(d *Dataset) float64 {
+	if len(d.Y) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range d.Y {
+		if m.Predict(d.X[i]) == d.Y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(d.Y))
+}
+
+// Softmax converts logits into probabilities (numerically stable).
+func Softmax(logits []float64) []float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Grads holds flat per-layer gradients matching the MLP layout.
+type Grads struct {
+	W [][]float64
+	B [][]float64
+}
+
+// NewGrads allocates zeroed gradients for m.
+func NewGrads(m *MLP) *Grads {
+	g := &Grads{}
+	for l := range m.W {
+		g.W = append(g.W, make([]float64, len(m.W[l])))
+		g.B = append(g.B, make([]float64, len(m.B[l])))
+	}
+	return g
+}
+
+// Flat flattens the gradients in Params order.
+func (g *Grads) Flat() []float64 {
+	var out []float64
+	for l := range g.W {
+		out = append(out, g.W[l]...)
+		out = append(out, g.B[l]...)
+	}
+	return out
+}
+
+// Backward computes the average cross-entropy loss and its gradients over
+// a mini-batch (rows of X with labels Y), accumulating into g.
+func (m *MLP) Backward(X [][]float64, Y []int, g *Grads) float64 {
+	n := len(Y)
+	if n == 0 {
+		return 0
+	}
+	L := len(m.W)
+	loss := 0.0
+	// Per-example backprop; models are small so this is fine and keeps the
+	// code transparent.
+	acts := make([][]float64, L+1)
+	for idx := 0; idx < n; idx++ {
+		acts[0] = X[idx]
+		for l := 0; l < L; l++ {
+			acts[l+1] = m.layerForward(l, acts[l], l+1 < L)
+		}
+		probs := Softmax(acts[L])
+		p := probs[Y[idx]]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		loss += -math.Log(p)
+		// delta at output layer.
+		delta := make([]float64, len(probs))
+		copy(delta, probs)
+		delta[Y[idx]] -= 1
+		for l := L - 1; l >= 0; l-- {
+			in, out := m.Sizes[l], m.Sizes[l+1]
+			a := acts[l]
+			gw, gb := g.W[l], g.B[l]
+			for j := 0; j < out; j++ {
+				gb[j] += delta[j] / float64(n)
+			}
+			for i := 0; i < in; i++ {
+				if a[i] == 0 {
+					continue
+				}
+				row := gw[i*out : (i+1)*out]
+				scale := a[i] / float64(n)
+				for j := 0; j < out; j++ {
+					row[j] += scale * delta[j]
+				}
+			}
+			if l > 0 {
+				w := m.W[l]
+				prev := make([]float64, in)
+				for i := 0; i < in; i++ {
+					if a[i] <= 0 { // ReLU gate (a == relu(z))
+						continue
+					}
+					row := w[i*out : (i+1)*out]
+					s := 0.0
+					for j := 0; j < out; j++ {
+						s += row[j] * delta[j]
+					}
+					prev[i] = s
+				}
+				delta = prev
+			}
+		}
+	}
+	return loss / float64(n)
+}
+
+// Loss computes the average cross-entropy loss without gradients.
+func (m *MLP) Loss(X [][]float64, Y []int) float64 {
+	if len(Y) == 0 {
+		return 0
+	}
+	loss := 0.0
+	for i := range Y {
+		probs := Softmax(m.Forward(X[i]))
+		p := probs[Y[i]]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		loss += -math.Log(p)
+	}
+	return loss / float64(len(Y))
+}

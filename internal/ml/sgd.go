@@ -1,0 +1,66 @@
+package ml
+
+import "math/rand"
+
+// SGD is a mini-batch stochastic gradient descent optimizer with classical
+// momentum and L2 weight decay, operating on flat parameter vectors.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	vel         []float64
+}
+
+// Step applies one update: p ← p − lr·(g + wd·p) with momentum.
+func (s *SGD) Step(params, grads []float64) {
+	if s.vel == nil {
+		s.vel = make([]float64, len(params))
+	}
+	for i := range params {
+		g := grads[i] + s.WeightDecay*params[i]
+		s.vel[i] = s.Momentum*s.vel[i] - s.LR*g
+		params[i] += s.vel[i]
+	}
+}
+
+// TrainEpoch runs one epoch of mini-batch SGD over the dataset and returns
+// the mean training loss. The proximal term μ/2·‖w − w₀‖² (FedProx, §4.3)
+// is applied when mu > 0 with anchor w₀ = anchor.
+func TrainEpoch(m *MLP, d *Dataset, batch int, opt *SGD, mu float64, anchor []float64, rng *rand.Rand) float64 {
+	n := len(d.Y)
+	if n == 0 {
+		return 0
+	}
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	order := rng.Perm(n)
+	totalLoss := 0.0
+	batches := 0
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		bx := make([][]float64, 0, end-start)
+		by := make([]int, 0, end-start)
+		for _, idx := range order[start:end] {
+			bx = append(bx, d.X[idx])
+			by = append(by, d.Y[idx])
+		}
+		g := NewGrads(m)
+		loss := m.Backward(bx, by, g)
+		flatG := g.Flat()
+		params := m.Params()
+		if mu > 0 && anchor != nil {
+			for i := range flatG {
+				flatG[i] += mu * (params[i] - anchor[i])
+			}
+		}
+		opt.Step(params, flatG)
+		m.SetParams(params)
+		totalLoss += loss
+		batches++
+	}
+	return totalLoss / float64(batches)
+}

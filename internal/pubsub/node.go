@@ -1,0 +1,780 @@
+package pubsub
+
+import (
+	"time"
+
+	"totoro/internal/ids"
+	"totoro/internal/ring"
+	"totoro/internal/transport"
+)
+
+// Config parameterizes the pub/sub layer of one node.
+type Config struct {
+	// MaxFanout caps children per node per tree; joins beyond the cap are
+	// pushed down to an existing child. Zero means the natural fanout of
+	// the overlay (≈2^B) is not enforced.
+	MaxFanout int
+	// KeepAliveInterval is the parent→children heartbeat period. Zero
+	// disables heartbeats (deterministic experiments drive repair
+	// explicitly).
+	KeepAliveInterval time.Duration
+	// KeepAliveTimeout is how long a child waits without heartbeats before
+	// declaring its parent failed and re-joining. Defaults to 3× the
+	// interval.
+	KeepAliveTimeout time.Duration
+	// AggTimeout flushes a partially aggregated round upstream if some
+	// child has not reported in time (straggler/failure tolerance). Zero
+	// disables the timer; rounds flush only on completeness.
+	AggTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeepAliveTimeout == 0 {
+		c.KeepAliveTimeout = 3 * c.KeepAliveInterval
+	}
+	return c
+}
+
+// Handlers are the application upcalls of the pub/sub layer.
+type Handlers struct {
+	// OnDeliver is invoked on every attached tree member a multicast
+	// passes through — subscribers and pure forwarders alike; subscriber
+	// distinguishes them. Depth is the number of tree levels traversed
+	// from the root.
+	OnDeliver func(topic ids.ID, obj any, depth int, subscriber bool)
+	// Combine folds two subtree updates into one (must be associative and
+	// commutative). Nil falls back to keeping the latest non-nil object.
+	Combine func(topic ids.ID, a, b any) any
+	// OnAggregate is invoked at the tree root when a round's aggregation
+	// flushes, with the combined object and the contribution count.
+	OnAggregate func(topic ids.ID, round int, obj any, count int)
+	// OnChildUpdate is invoked on interior nodes whenever a child's
+	// (partial) update arrives — the paper's onAggregate callback.
+	OnChildUpdate func(topic ids.ID, round int, from ring.Contact, count int)
+	// OnRepair is invoked when this node detects its parent failed and
+	// starts re-joining (used by the churn experiments).
+	OnRepair func(topic ids.ID)
+}
+
+// aggRound tracks one round's in-network aggregation at one node.
+type aggRound struct {
+	combined any
+	count    int
+	reported map[transport.Addr]bool
+	expected map[transport.Addr]bool
+	selfDone bool
+	flushed  bool
+	cancel   func()
+}
+
+// topicState is this node's view of one tree.
+type topicState struct {
+	topic      ids.ID
+	parent     ring.Contact
+	isRoot     bool
+	subscribed bool // participates as worker (receives multicasts)
+	children   map[transport.Addr]ring.Contact
+	childInfo  map[transport.Addr]ring.Contact
+	lastSeen   time.Duration // last keep-alive from parent
+	joining    bool
+	// ownerCfg carries the tree owner's per-tree parameter overrides
+	// (fanout cap, aggregation deadline), learned from CreateMsg at the
+	// root and from Welcome everywhere else.
+	ownerCfg TreeConfig
+	rounds   map[int]*aggRound
+	// missCount tracks consecutive timed-out rounds per child without a
+	// report; children missing childMissLimit rounds in a row are dropped.
+	missCount map[transport.Addr]int
+	seq       uint64
+	// Reliable multicast state: highest sequence seen, the first sequence
+	// this member ever saw (its baseline — history before it joined is not
+	// owed), the set of delivered sequences (bounded by the cache window),
+	// and a bounded cache of recent multicasts for retransmissions.
+	mcLast    uint64
+	mcBase    uint64
+	mcSeen    map[uint64]bool
+	mcCache   map[uint64]Multicast
+	kaCancel  func()
+	checkStop func()
+}
+
+// Node implements the forest abstraction for one overlay node. It acts as
+// the ring.App of its ring.Node and additionally consumes direct pub/sub
+// messages.
+type Node struct {
+	env      transport.Env
+	ring     *ring.Node
+	cfg      Config
+	handlers Handlers
+	topics   map[ids.ID]*topicState
+
+	// Stats for the experiment harness.
+	Stats Stats
+}
+
+// Stats aggregates pub/sub counters.
+type Stats struct {
+	MulticastsSent  int
+	UpstreamsSent   int
+	Repairs         int
+	JoinsIntercepts int
+}
+
+// New wires a pub/sub node onto an existing ring node and registers itself
+// as the ring's application.
+func New(env transport.Env, rn *ring.Node, cfg Config) *Node {
+	n := &Node{
+		env:    env,
+		ring:   rn,
+		cfg:    cfg.withDefaults(),
+		topics: make(map[ids.ID]*topicState),
+	}
+	rn.SetApp(n)
+	return n
+}
+
+// SetHandlers installs the application upcalls.
+func (n *Node) SetHandlers(h Handlers) { n.handlers = h }
+
+// state returns (creating if needed) the per-topic state.
+func (n *Node) state(topic ids.ID) *topicState {
+	st, ok := n.topics[topic]
+	if !ok {
+		st = &topicState{
+			topic:     topic,
+			children:  make(map[transport.Addr]ring.Contact),
+			rounds:    make(map[int]*aggRound),
+			missCount: make(map[transport.Addr]int),
+			mcSeen:    make(map[uint64]bool),
+			mcCache:   make(map[uint64]Multicast),
+		}
+		n.topics[topic] = st
+	}
+	return st
+}
+
+// Create claims the topic's rendezvous node as tree root (CreateTree API)
+// with default tree parameters.
+func (n *Node) Create(topic ids.ID) { n.CreateWithConfig(topic, TreeConfig{}) }
+
+// CreateWithConfig claims the root and installs the owner's per-tree
+// parameters (fanout cap, aggregation deadline), which propagate to every
+// member as it joins.
+func (n *Node) CreateWithConfig(topic ids.ID, cfg TreeConfig) {
+	n.ring.Route(topic, CreateMsg{Topic: topic, Creator: n.ring.Self(), Cfg: cfg})
+}
+
+// effCfg is the tree's effective configuration: owner overrides on top of
+// this node's defaults.
+func (n *Node) effCfg(st *topicState) TreeConfig { return st.ownerCfg.merged(n.cfg) }
+
+// Subscribe joins this node to the topic's tree as a worker.
+func (n *Node) Subscribe(topic ids.ID) {
+	st := n.state(topic)
+	st.subscribed = true
+	if st.isRoot || !st.parent.IsZero() || st.joining {
+		return // already attached (e.g. was a pure forwarder)
+	}
+	st.joining = true
+	n.ring.Route(topic, JoinMsg{Topic: topic, Subscriber: n.ring.Self()})
+}
+
+// Unsubscribe detaches this node as worker; it remains a forwarder while
+// it still has children, and cascades a leave upward otherwise.
+func (n *Node) Unsubscribe(topic ids.ID) {
+	st, ok := n.topics[topic]
+	if !ok {
+		return
+	}
+	st.subscribed = false
+	n.maybeLeave(st)
+}
+
+func (n *Node) maybeLeave(st *topicState) {
+	if st.subscribed || st.isRoot || len(st.children) > 0 {
+		return
+	}
+	if !st.parent.IsZero() {
+		n.env.Send(st.parent.Addr, LeaveMsg{Topic: st.topic, Child: n.ring.Self()})
+	}
+	n.stopTimers(st)
+	delete(n.topics, st.topic)
+}
+
+// Publish routes obj to the topic root, which multicasts it down the tree
+// (the Broadcast API: the master disseminates the model to the workers).
+func (n *Node) Publish(topic ids.ID, obj any) {
+	if st, ok := n.topics[topic]; ok && st.isRoot {
+		n.multicast(st, obj)
+		return
+	}
+	n.ring.Route(topic, PublishMsg{Topic: topic, Object: obj})
+}
+
+// SubmitUpdate contributes this node's update for an aggregation round
+// (the Aggregate API). Pass obj == nil to report "nothing to contribute";
+// interior nodes need the report to complete their round.
+func (n *Node) SubmitUpdate(topic ids.ID, round int, obj any) {
+	st := n.state(topic)
+	r := n.round(st, round)
+	if obj != nil {
+		r.combined = n.combine(topic, r.combined, obj)
+		r.count++
+	}
+	r.selfDone = true
+	n.maybeFlush(st, round, r)
+}
+
+// --- ring.App implementation ---
+
+// Deliver handles ring-routed payloads that reached the rendezvous node.
+func (n *Node) Deliver(d ring.Delivery) {
+	switch m := d.Payload.(type) {
+	case CreateMsg:
+		st := n.state(m.Topic)
+		st.isRoot = true
+		st.parent = ring.Contact{}
+		st.joining = false
+		n.learnTreeConfig(st, m.Cfg)
+	case JoinMsg:
+		st := n.state(m.Topic)
+		st.isRoot = true
+		st.parent = ring.Contact{}
+		st.joining = false
+		if m.Subscriber.Addr != n.ring.Self().Addr {
+			n.addChild(st, m.Subscriber)
+		}
+	case PublishMsg:
+		st := n.state(m.Topic)
+		st.isRoot = true // the rendezvous node is the master by definition
+		n.multicast(st, m.Object)
+	}
+}
+
+// Forward intercepts JOIN messages on their way to the rendezvous node,
+// splicing the subscriber into the tree at the first node that is already
+// (or now becomes) part of it. This is what makes the forest scale: the
+// union of join paths is the tree, and join cost is amortized over overlay
+// links that already exist (Fig 7).
+func (n *Node) Forward(d *ring.Delivery, next ring.Contact) bool {
+	m, ok := d.Payload.(JoinMsg)
+	if !ok {
+		return true
+	}
+	if m.Subscriber.Addr == n.ring.Self().Addr {
+		return true // we originated this join; let it route on
+	}
+	n.Stats.JoinsIntercepts++
+	st := n.state(m.Topic)
+	n.addChild(st, m.Subscriber)
+	if st.isRoot || !st.parent.IsZero() || st.joining {
+		return false // already on the tree: the join stops here
+	}
+	// We become a forwarder and continue the join on our own behalf.
+	st.joining = true
+	d.Payload = JoinMsg{Topic: m.Topic, Subscriber: n.ring.Self(), Forwarder: true}
+	return true
+}
+
+// --- direct message handling ---
+
+// Receive consumes a direct pub/sub message. It reports whether the
+// message type belonged to this layer.
+func (n *Node) Receive(from transport.Addr, msg any) bool {
+	switch m := msg.(type) {
+	case JoinMsg: // pushed down from a full parent
+		st := n.state(m.Topic)
+		n.addChild(st, m.Subscriber)
+	case Welcome:
+		n.handleWelcome(m)
+	case Multicast:
+		n.handleMulticast(m)
+	case Upstream:
+		n.handleUpstream(m)
+	case KeepAlive:
+		n.handleKeepAlive(m)
+	case McNack:
+		n.handleNack(m)
+	case LeaveMsg:
+		if st, ok := n.topics[m.Topic]; ok {
+			delete(st.children, m.Child.Addr)
+			n.maybeLeave(st)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// learnTreeConfig folds newly learned owner overrides into the topic
+// state. Zero fields mean "sender doesn't know" and never erase knowledge;
+// a change re-propagates to existing children (a forwarder may have
+// adopted children before its own join completed and delivered the
+// config) and re-enforces the fanout cap.
+func (n *Node) learnTreeConfig(st *topicState, cfg TreeConfig) {
+	changed := false
+	if cfg.MaxFanout != 0 && cfg.MaxFanout != st.ownerCfg.MaxFanout {
+		st.ownerCfg.MaxFanout = cfg.MaxFanout
+		changed = true
+	}
+	if cfg.AggTimeout != 0 && cfg.AggTimeout != st.ownerCfg.AggTimeout {
+		st.ownerCfg.AggTimeout = cfg.AggTimeout
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	n.enforceFanout(st)
+	for _, c := range st.children {
+		n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, LastSeq: st.mcLast})
+	}
+}
+
+// enforceFanout pushes children beyond the tree's cap down to siblings.
+func (n *Node) enforceFanout(st *topicState) {
+	max := n.effCfg(st).MaxFanout
+	if max <= 0 {
+		return
+	}
+	for len(st.children) > max {
+		// Evict the child numerically farthest from us; re-home it under
+		// the sibling closest to it.
+		var victim ring.Contact
+		self := n.ring.Self().ID
+		for _, ch := range st.children {
+			if victim.IsZero() || ids.Closer(self, victim.ID, ch.ID) {
+				victim = ch
+			}
+		}
+		delete(st.children, victim.Addr)
+		var target ring.Contact
+		for _, ch := range st.children {
+			if target.IsZero() || ids.Closer(victim.ID, ch.ID, target.ID) {
+				target = ch
+			}
+		}
+		if target.IsZero() {
+			// No sibling to push to; keep the child after all.
+			st.children[victim.Addr] = victim
+			return
+		}
+		n.env.Send(target.Addr, JoinMsg{Topic: st.topic, Subscriber: victim})
+	}
+}
+
+// addChild inserts c as a child, pushing the join down to an existing
+// child when the fanout cap is reached.
+func (n *Node) addChild(st *topicState, c ring.Contact) {
+	if c.Addr == n.ring.Self().Addr {
+		return
+	}
+	if _, dup := st.children[c.Addr]; dup {
+		n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, LastSeq: st.mcLast})
+		return
+	}
+	if max := n.effCfg(st).MaxFanout; max > 0 && len(st.children) >= max {
+		// Push down: redirect the join to the child whose ID is closest to
+		// the subscriber (keeps locality and balances subtrees).
+		var best ring.Contact
+		for _, ch := range st.children {
+			if best.IsZero() || ids.Closer(c.ID, ch.ID, best.ID) {
+				best = ch
+			}
+		}
+		n.env.Send(best.Addr, JoinMsg{Topic: st.topic, Subscriber: c})
+		return
+	}
+	st.children[c.Addr] = c
+	n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, LastSeq: st.mcLast})
+	n.ensureKeepAlive(st)
+}
+
+func (n *Node) handleWelcome(m Welcome) {
+	st := n.state(m.Topic)
+	n.learnTreeConfig(st, m.Cfg)
+	if st.mcBase == 0 {
+		// First adoption: owed everything the parent multicasts after now.
+		st.mcBase = m.LastSeq + 1
+	}
+	if m.Parent.Addr == n.ring.Self().Addr {
+		return
+	}
+	// Guard against trivial cycles: refuse a parent that is currently our
+	// child and re-join instead.
+	if _, isChild := st.children[m.Parent.Addr]; isChild {
+		st.joining = true
+		n.ring.Route(st.topic, JoinMsg{Topic: st.topic, Subscriber: n.ring.Self()})
+		return
+	}
+	if !st.parent.IsZero() && st.parent.Addr != m.Parent.Addr {
+		// Replacing parents (rejoin): tell the old one we left.
+		n.env.Send(st.parent.Addr, LeaveMsg{Topic: st.topic, Child: n.ring.Self()})
+	}
+	st.parent = m.Parent
+	st.isRoot = false
+	st.joining = false
+	st.lastSeen = n.env.Now()
+	n.ensureParentCheck(st)
+}
+
+func (n *Node) multicast(st *topicState, obj any) {
+	st.seq++
+	m := Multicast{Topic: st.topic, Seq: st.seq, Depth: 0, Object: obj}
+	n.recordMulticast(st, m)
+	if n.handlers.OnDeliver != nil {
+		n.handlers.OnDeliver(st.topic, obj, 0, st.subscribed)
+	}
+	n.forwardMulticast(st, m)
+}
+
+func (n *Node) handleMulticast(m Multicast) {
+	st := n.state(m.Topic)
+	if !n.recordMulticast(st, m) {
+		return // duplicate (retransmission overlap)
+	}
+	if n.handlers.OnDeliver != nil {
+		n.handlers.OnDeliver(m.Topic, m.Object, m.Depth, st.subscribed)
+	}
+	n.forwardMulticast(st, m)
+}
+
+func (n *Node) forwardMulticast(st *topicState, m Multicast) {
+	for _, c := range st.children {
+		n.Stats.MulticastsSent++
+		n.env.Send(c.Addr, Multicast{Topic: m.Topic, Seq: m.Seq, Depth: m.Depth + 1, Object: m.Object})
+	}
+}
+
+// mcCacheSize bounds the retransmission window: parents can serve the last
+// mcCacheSize multicasts to children that missed them.
+const mcCacheSize = 16
+
+// recordMulticast registers a received (or originated) multicast for the
+// reliable-multicast machinery: duplicate suppression, a bounded
+// retransmission cache, and gap detection (a sequence jump means earlier
+// broadcasts were lost in flight; the node re-requests them from its
+// parent). It reports whether the multicast is new.
+func (n *Node) recordMulticast(st *topicState, m Multicast) bool {
+	if st.mcSeen[m.Seq] {
+		return false
+	}
+	st.mcSeen[m.Seq] = true
+	st.mcCache[m.Seq] = m
+	if m.Seq > st.mcLast {
+		if st.mcBase == 0 {
+			st.mcBase = m.Seq
+		}
+		if st.mcLast > 0 && !st.parent.IsZero() {
+			var missing []uint64
+			for s := st.mcLast + 1; s < m.Seq && len(missing) < mcCacheSize; s++ {
+				if !st.mcSeen[s] {
+					missing = append(missing, s)
+				}
+			}
+			if len(missing) > 0 {
+				n.env.Send(st.parent.Addr, McNack{Topic: st.topic, Child: n.ring.Self(), Missing: missing})
+			}
+		}
+		st.mcLast = m.Seq
+	}
+	for s := range st.mcCache {
+		if s+mcCacheSize <= st.mcLast {
+			delete(st.mcCache, s)
+		}
+	}
+	for s := range st.mcSeen {
+		if s+4*mcCacheSize <= st.mcLast {
+			delete(st.mcSeen, s)
+		}
+	}
+	return true
+}
+
+// handleNack retransmits cached multicasts a child reports missing.
+func (n *Node) handleNack(m McNack) {
+	st, ok := n.topics[m.Topic]
+	if !ok {
+		return
+	}
+	for _, seq := range m.Missing {
+		if mc, ok := st.mcCache[seq]; ok {
+			n.env.Send(m.Child.Addr, Multicast{
+				Topic: mc.Topic, Seq: mc.Seq, Depth: mc.Depth + 1, Object: mc.Object,
+			})
+		}
+	}
+}
+
+func (n *Node) round(st *topicState, round int) *aggRound {
+	r, ok := st.rounds[round]
+	if !ok {
+		r = &aggRound{
+			reported: make(map[transport.Addr]bool),
+			expected: make(map[transport.Addr]bool, len(st.children)),
+		}
+		for a := range st.children {
+			r.expected[a] = true
+		}
+		st.rounds[round] = r
+		if timeout := n.effCfg(st).AggTimeout; timeout > 0 {
+			rnd := round
+			r.cancel = n.env.After(timeout, func() {
+				if cur, ok := st.rounds[rnd]; ok && !cur.flushed {
+					n.recordMisses(st, cur)
+					n.flush(st, rnd, cur)
+				}
+			})
+		}
+	}
+	return r
+}
+
+func (n *Node) handleUpstream(m Upstream) {
+	st := n.state(m.Topic)
+	r := n.round(st, m.Round)
+	if m.Object != nil {
+		r.combined = n.combine(m.Topic, r.combined, m.Object)
+		r.count += m.Count
+	}
+	r.reported[m.From.Addr] = true
+	delete(st.missCount, m.From.Addr)
+	if n.handlers.OnChildUpdate != nil {
+		n.handlers.OnChildUpdate(m.Topic, m.Round, m.From, m.Count)
+	}
+	if r.flushed {
+		// Late contribution after a timeout flush: forward it upstream as a
+		// supplementary partial so the root still counts it.
+		n.forwardUp(st, m.Round, m.Object, m.Count)
+		return
+	}
+	n.maybeFlush(st, m.Round, r)
+}
+
+func (n *Node) maybeFlush(st *topicState, round int, r *aggRound) {
+	if r.flushed || !r.selfDone {
+		return
+	}
+	for a := range r.expected {
+		if !r.reported[a] {
+			return
+		}
+	}
+	n.flush(st, round, r)
+}
+
+func (n *Node) flush(st *topicState, round int, r *aggRound) {
+	r.flushed = true
+	if r.cancel != nil {
+		r.cancel()
+	}
+	// The round stays in the map marked flushed so that stragglers arriving
+	// later are forwarded upstream as supplementary partials instead of
+	// resurrecting the round.
+	n.forwardUp(st, round, r.combined, r.count)
+}
+
+func (n *Node) forwardUp(st *topicState, round int, obj any, count int) {
+	if st.isRoot || st.parent.IsZero() {
+		if n.handlers.OnAggregate != nil {
+			n.handlers.OnAggregate(st.topic, round, obj, count)
+		}
+		return
+	}
+	n.Stats.UpstreamsSent++
+	n.env.Send(st.parent.Addr, Upstream{
+		Topic: st.topic, Round: round, From: n.ring.Self(), Object: obj, Count: count,
+	})
+}
+
+func (n *Node) combine(topic ids.ID, a, b any) any {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if n.handlers.Combine != nil {
+		return n.handlers.Combine(topic, a, b)
+	}
+	return b
+}
+
+// childMissLimit is how many consecutive timed-out rounds a child may fail
+// to report before the parent prunes it (a dead or partitioned subtree
+// would otherwise make every round pay the full aggregation timeout).
+const childMissLimit = 2
+
+// recordMisses charges children that did not report before a timeout
+// flush, pruning those past the limit.
+func (n *Node) recordMisses(st *topicState, r *aggRound) {
+	for a := range r.expected {
+		if r.reported[a] {
+			continue
+		}
+		st.missCount[a]++
+		if st.missCount[a] >= childMissLimit {
+			delete(st.children, a)
+			delete(st.missCount, a)
+		}
+	}
+}
+
+// --- failure detection & repair ---
+
+func (n *Node) ensureKeepAlive(st *topicState) {
+	if n.cfg.KeepAliveInterval <= 0 || st.kaCancel != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if len(st.children) > 0 {
+			for _, c := range st.children {
+				n.env.Send(c.Addr, KeepAlive{Topic: st.topic, Parent: n.ring.Self(), LastSeq: st.mcLast})
+			}
+		}
+		st.kaCancel = n.env.After(n.cfg.KeepAliveInterval, tick)
+	}
+	st.kaCancel = n.env.After(n.cfg.KeepAliveInterval, tick)
+}
+
+func (n *Node) ensureParentCheck(st *topicState) {
+	if n.cfg.KeepAliveInterval <= 0 || st.checkStop != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if !st.parent.IsZero() && n.env.Now()-st.lastSeen > n.cfg.KeepAliveTimeout {
+			n.repairParent(st)
+		}
+		st.checkStop = n.env.After(n.cfg.KeepAliveInterval, tick)
+	}
+	st.checkStop = n.env.After(n.cfg.KeepAliveInterval, tick)
+}
+
+func (n *Node) handleKeepAlive(m KeepAlive) {
+	st := n.state(m.Topic)
+	if st.parent.Addr != m.Parent.Addr {
+		return
+	}
+	st.lastSeen = n.env.Now()
+	// Loss repair: the heartbeat names the parent's newest multicast;
+	// re-request every sequence in the retransmittable window this node
+	// never saw (earlier nacks may themselves have been lost). A freshly
+	// joined member catches up with just the latest broadcast (the current
+	// model) rather than history it never owed.
+	if m.LastSeq == 0 {
+		return
+	}
+	var missing []uint64
+	if st.mcLast == 0 && st.mcBase > m.LastSeq {
+		// Joined after every known broadcast: catch up with the newest one
+		// only (the current model).
+		missing = []uint64{m.LastSeq}
+	} else {
+		from := uint64(1)
+		if m.LastSeq > mcCacheSize {
+			from = m.LastSeq - mcCacheSize + 1
+		}
+		if from < st.mcBase {
+			from = st.mcBase // history before this member joined is not owed
+		}
+		for s := from; s <= m.LastSeq; s++ {
+			if !st.mcSeen[s] {
+				missing = append(missing, s)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		n.env.Send(st.parent.Addr, McNack{Topic: st.topic, Child: n.ring.Self(), Missing: missing})
+	}
+}
+
+// repairParent declares the parent failed and re-routes a JOIN toward the
+// topic; the overlay routes it to a new parent, creating an alternative
+// route (paper §4.5).
+func (n *Node) repairParent(st *topicState) {
+	dead := st.parent
+	st.parent = ring.Contact{}
+	st.joining = true
+	st.lastSeen = n.env.Now()
+	n.Stats.Repairs++
+	n.ring.RemoveContact(dead.Addr)
+	if n.handlers.OnRepair != nil {
+		n.handlers.OnRepair(st.topic)
+	}
+	n.ring.Route(st.topic, JoinMsg{Topic: st.topic, Subscriber: n.ring.Self()})
+}
+
+// ForceRepair triggers parent repair immediately (experiment driver hook).
+func (n *Node) ForceRepair(topic ids.ID) {
+	if st, ok := n.topics[topic]; ok && !st.parent.IsZero() {
+		n.repairParent(st)
+	}
+}
+
+func (n *Node) stopTimers(st *topicState) {
+	if st.kaCancel != nil {
+		st.kaCancel()
+		st.kaCancel = nil
+	}
+	if st.checkStop != nil {
+		st.checkStop()
+		st.checkStop = nil
+	}
+	for _, r := range st.rounds {
+		if r.cancel != nil {
+			r.cancel()
+		}
+	}
+}
+
+// --- introspection (experiments & tests) ---
+
+// Info is a snapshot of this node's role in one tree.
+type Info struct {
+	Topic      ids.ID
+	IsRoot     bool
+	Subscribed bool
+	Parent     ring.Contact
+	Children   []ring.Contact
+	Attached   bool
+}
+
+// TreeInfo reports this node's role in the topic's tree.
+func (n *Node) TreeInfo(topic ids.ID) (Info, bool) {
+	st, ok := n.topics[topic]
+	if !ok {
+		return Info{}, false
+	}
+	info := Info{
+		Topic:      topic,
+		IsRoot:     st.isRoot,
+		Subscribed: st.subscribed,
+		Parent:     st.parent,
+		Attached:   st.isRoot || !st.parent.IsZero(),
+	}
+	for _, c := range st.children {
+		info.Children = append(info.Children, c)
+	}
+	return info, true
+}
+
+// Topics lists the topics this node holds any state for.
+func (n *Node) Topics() []ids.ID {
+	out := make([]ids.ID, 0, len(n.topics))
+	for t := range n.topics {
+		out = append(out, t)
+	}
+	return out
+}
+
+// RootCount reports how many trees this node is the root (master) of.
+func (n *Node) RootCount() int {
+	c := 0
+	for _, st := range n.topics {
+		if st.isRoot {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,89 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"totoro/internal/ids"
+	"totoro/internal/ring"
+)
+
+// TestDeadChildPrunedAfterMisses verifies that a parent stops waiting for
+// a dead child: the first childMissLimit rounds after the failure pay the
+// aggregation timeout, after which the child is pruned and rounds complete
+// promptly again.
+func TestDeadChildPrunedAfterMisses(t *testing.T) {
+	const aggTimeout = 100 * time.Millisecond
+	f := newForest(t, 150, ring.Config{B: 4}, Config{AggTimeout: aggTimeout}, 42)
+	topic := ids.Hash("app-prune")
+	var subs []*stack
+	for i := 0; i < 40; i++ {
+		s := f.stacks[f.rng.Intn(len(f.stacks))]
+		s.ps.Subscribe(topic)
+		subs = append(subs, s)
+	}
+	f.net.RunUntilIdle()
+	f.verifyTree(t, topic, subs)
+
+	// Fail one leaf worker.
+	var victim *stack
+	for _, s := range f.attachedMembers(topic) {
+		info, _ := s.ps.TreeInfo(topic)
+		if !info.IsRoot && len(info.Children) == 0 && info.Subscribed {
+			victim = s
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no leaf to fail")
+	}
+	f.net.Fail(victim.ring.Self().Addr)
+
+	runRound := func(round int) time.Duration {
+		start := f.net.Now()
+		for _, s := range f.attachedMembers(topic) {
+			if !f.net.Alive(s.ring.Self().Addr) {
+				continue
+			}
+			info, _ := s.ps.TreeInfo(topic)
+			if info.Subscribed {
+				s.ps.SubmitUpdate(topic, round, 1)
+			} else {
+				s.ps.SubmitUpdate(topic, round, nil)
+			}
+		}
+		f.net.RunUntilIdle()
+		key := fmt.Sprintf("%s/%d", topic, round)
+		if len(f.aggregates[key]) == 0 {
+			t.Fatalf("round %d never aggregated", round)
+		}
+		return f.net.Now() - start
+	}
+
+	// Rounds 1..childMissLimit hit the timeout; later rounds must not.
+	var durs []time.Duration
+	for r := 1; r <= childMissLimit+2; r++ {
+		durs = append(durs, runRound(r))
+	}
+	for i := 0; i < childMissLimit; i++ {
+		if durs[i] < aggTimeout {
+			t.Fatalf("round %d finished in %v, expected to wait out the timeout", i+1, durs[i])
+		}
+	}
+	for i := childMissLimit; i < len(durs); i++ {
+		if durs[i] >= aggTimeout {
+			t.Fatalf("round %d still paid the timeout (%v) after pruning", i+1, durs[i])
+		}
+	}
+	// The dead child must be gone from its parent's children table.
+	for _, s := range f.stacks {
+		if info, ok := s.ps.TreeInfo(topic); ok {
+			for _, c := range info.Children {
+				if c.Addr == victim.ring.Self().Addr {
+					t.Fatal("dead child still registered")
+				}
+			}
+		}
+	}
+}

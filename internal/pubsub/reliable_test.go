@@ -1,0 +1,175 @@
+package pubsub
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"totoro/internal/ids"
+	"totoro/internal/ring"
+	"totoro/internal/simnet"
+	"totoro/internal/transport"
+)
+
+// lossyForest builds a forest whose data links can be switched lossy after
+// construction (joins happen over a clean network; the loss applies to the
+// broadcast phase, as on a wireless edge that degrades).
+func lossyForest(t *testing.T, n int, seed int64, lossOn *bool, p float64) *forest {
+	t.Helper()
+	f := &forest{
+		net: simnet.New(simnet.Config{
+			Seed:    seed,
+			Latency: simnet.ConstLatency(2 * time.Millisecond),
+			Loss: func(a, b transport.Addr) float64 {
+				if *lossOn {
+					return p
+				}
+				return 0
+			},
+		}),
+		byAddr:     make(map[transport.Addr]*stack),
+		rng:        rand.New(rand.NewSource(seed)),
+		delivered:  make(map[transport.Addr][]any),
+		aggregates: make(map[string][]aggResult),
+	}
+	var ringNodes []*ring.Node
+	for i := 0; i < n; i++ {
+		addr := transport.Addr(fmt.Sprintf("n%d", i))
+		id := ids.Random(f.rng)
+		s := &stack{}
+		f.net.AddNode(addr, func(e transport.Env) transport.Handler {
+			s.ring = ring.New(e, ring.Contact{ID: id, Addr: addr}, ring.Config{B: 4})
+			s.ps = New(e, s.ring, Config{
+				KeepAliveInterval: 50 * time.Millisecond,
+				KeepAliveTimeout:  10 * time.Second, // no repair churn in this test
+			})
+			s.ps.SetHandlers(Handlers{
+				OnDeliver: func(topic ids.ID, obj any, depth int, subscriber bool) {
+					if subscriber {
+						f.delivered[addr] = append(f.delivered[addr], obj)
+					}
+				},
+			})
+			return s
+		})
+		f.stacks = append(f.stacks, s)
+		f.byAddr[addr] = s
+		ringNodes = append(ringNodes, s.ring)
+	}
+	ring.BuildStatic(ringNodes, f.rng)
+	return f
+}
+
+// TestReliableMulticastUnderLoss drops 25% of all frames during a burst of
+// broadcasts; nack-based retransmission (driven by later multicasts and
+// keep-alive heartbeats) must still deliver every broadcast to every
+// subscriber.
+func TestReliableMulticastUnderLoss(t *testing.T) {
+	lossOn := false
+	f := lossyForest(t, 200, 91, &lossOn, 0.25)
+	topic := ids.Hash("app-reliable")
+	var subs []*stack
+	seen := map[transport.Addr]bool{}
+	for len(subs) < 60 {
+		s := f.stacks[f.rng.Intn(len(f.stacks))]
+		if seen[s.ring.Self().Addr] {
+			continue
+		}
+		seen[s.ring.Self().Addr] = true
+		s.ps.Subscribe(topic)
+		subs = append(subs, s)
+	}
+	f.net.Run(f.net.Now() + 300*time.Millisecond)
+
+	var root *stack
+	for _, s := range f.stacks {
+		if info, ok := s.ps.TreeInfo(topic); ok && info.IsRoot {
+			root = s
+		}
+	}
+	if root == nil {
+		t.Fatal("no root")
+	}
+
+	lossOn = true
+	const bursts = 12
+	for i := 0; i < bursts; i++ {
+		root.ps.Publish(topic, fmt.Sprintf("model-v%d", i))
+		f.net.Run(f.net.Now() + 30*time.Millisecond)
+	}
+	// Heartbeats + nacks repair the tail.
+	lossOn = false
+	f.net.Run(f.net.Now() + 2*time.Second)
+
+	for _, s := range subs {
+		got := f.delivered[s.ring.Self().Addr]
+		if len(got) != bursts {
+			t.Fatalf("subscriber %s received %d of %d broadcasts: %v",
+				s.ring.Self().Addr, len(got), bursts, got)
+		}
+		distinct := map[any]bool{}
+		for _, g := range got {
+			distinct[g] = true
+		}
+		if len(distinct) != bursts {
+			t.Fatalf("subscriber %s saw duplicates: %v", s.ring.Self().Addr, got)
+		}
+	}
+}
+
+// TestLateJoinerCatchesUpToLatestModel verifies the keep-alive catch-up: a
+// node that subscribes after broadcasts were published receives the newest
+// one (the current global model) without replaying history.
+func TestLateJoinerCatchesUpToLatestModel(t *testing.T) {
+	lossOn := false
+	f := lossyForest(t, 120, 92, &lossOn, 0)
+	topic := ids.Hash("app-catchup")
+	for i := 0; i < 20; i++ {
+		f.stacks[i].ps.Subscribe(topic)
+	}
+	f.net.Run(f.net.Now() + 300*time.Millisecond)
+	var root *stack
+	for _, s := range f.stacks {
+		if info, ok := s.ps.TreeInfo(topic); ok && info.IsRoot {
+			root = s
+		}
+	}
+	for i := 0; i < 5; i++ {
+		root.ps.Publish(topic, fmt.Sprintf("v%d", i))
+	}
+	f.net.Run(f.net.Now() + 200*time.Millisecond)
+
+	late := f.stacks[100]
+	late.ps.Subscribe(topic)
+	f.net.Run(f.net.Now() + 1*time.Second)
+
+	got := f.delivered[late.ring.Self().Addr]
+	if len(got) == 0 {
+		t.Fatal("late joiner never caught up")
+	}
+	last := got[len(got)-1]
+	if last != "v4" {
+		t.Fatalf("late joiner caught up to %v want v4", last)
+	}
+	if len(got) > 2 {
+		t.Fatalf("late joiner replayed too much history: %v", got)
+	}
+}
+
+// TestDuplicateMulticastSuppressed sends the same multicast twice directly;
+// the subscriber must deliver once.
+func TestDuplicateMulticastSuppressed(t *testing.T) {
+	lossOn := false
+	f := lossyForest(t, 60, 93, &lossOn, 0)
+	topic := ids.Hash("app-dup")
+	s := f.stacks[5]
+	s.ps.Subscribe(topic)
+	f.net.Run(f.net.Now() + 200*time.Millisecond)
+	m := Multicast{Topic: topic, Seq: 9, Depth: 1, Object: "once"}
+	s.ps.Receive("tester", m)
+	s.ps.Receive("tester", m)
+	if got := f.delivered[s.ring.Self().Addr]; len(got) != 1 {
+		t.Fatalf("delivered %d times", len(got))
+	}
+}

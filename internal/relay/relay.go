@@ -1,0 +1,68 @@
+// Package relay is the distributed, in-network realization of the
+// paper's bandit-based path planning model (§5): it replans the data
+// transfer paths that carry models and gradients between tree neighbors
+// when the direct links are unreliable.
+//
+// Where internal/bandit implements and evaluates Algorithm 1 with a
+// global view (the Fig 10/11 study), this package runs the same policy as
+// an actual protocol:
+//
+//   - every node keeps semi-bandit statistics (attempts/successes) only
+//     for its own outgoing links, learned from per-hop acknowledgements
+//     and retransmissions — a lost frame is retried until acked, so the
+//     per-link delay really is geometric in the link success probability;
+//   - the long-term routing cost J(w) is propagated by distance-vector
+//     advertisements: each node periodically tells its neighbors its
+//     current optimistic cost-to-destination, and computes its own as
+//     J(v) = min over neighbors of ω(v,w) + J(w)  (Algorithm 1, line 3),
+//     where ω is the KL-UCB optimistic link delay;
+//   - data frames are forwarded hop-by-hop to the neighbor minimizing
+//     ω + J, with a TTL and a visited list guarding against transient
+//     distance-vector loops.
+package relay
+
+import (
+	"totoro/internal/transport"
+)
+
+// Message is the marker interface for relay wire messages.
+type Message interface{ relayMessage() }
+
+// Data is one payload frame in flight.
+type Data struct {
+	Dst    transport.Addr
+	Origin transport.Addr
+	// ID is origin-unique and used for duplicate suppression (a hop whose
+	// ack was lost is retransmitted and may arrive twice).
+	ID uint64
+	// Seq is the hop-local sequence number acknowledged by Ack.
+	Seq     uint64
+	TTL     int
+	Visited []transport.Addr
+	Payload any
+}
+
+func (Data) relayMessage() {}
+
+// WireSize charges the header plus payload.
+func (d Data) WireSize() int { return 48 + 16*len(d.Visited) + transport.SizeOf(d.Payload) }
+
+// Ack acknowledges one hop of one frame.
+type Ack struct{ Seq uint64 }
+
+func (Ack) relayMessage() {}
+
+// WireSize reports a minimal ack frame.
+func (Ack) WireSize() int { return 16 }
+
+// Advert carries a node's optimistic cost-to-destination table to its
+// neighbors (the distance-vector exchange behind J).
+type Advert struct {
+	From transport.Addr
+	J    map[transport.Addr]float64
+}
+
+func (Advert) relayMessage() {}
+
+// WireSize grows with the advertised table.
+func (a Advert) WireSize() int { return 24 + 24*len(a.J) }

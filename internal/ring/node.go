@@ -1,0 +1,579 @@
+package ring
+
+import (
+	"time"
+
+	"totoro/internal/ids"
+	"totoro/internal/transport"
+)
+
+// Config parameterizes an overlay node.
+type Config struct {
+	// B is the number of bits per routing digit; the routing table has
+	// 2^B−1 usable entries per row and pub/sub trees built on the overlay
+	// have fanout 2^B. The paper evaluates B ∈ {3,4,5} (fanouts 8/16/32).
+	B int
+	// LeafSetSize is the total leaf set size (half on each side of the
+	// ring). The paper configures 24 (§7.1).
+	LeafSetSize int
+	// NeighborhoodSize bounds the physically-closest node set.
+	NeighborhoodSize int
+	// ReliableHops enables per-hop acknowledgements: a hop that is not
+	// acked within HopAckTimeout removes the suspect contact and re-routes.
+	// This is how routes adapt to failed nodes (§4.5).
+	ReliableHops bool
+	// HopAckTimeout is the per-hop ack deadline when ReliableHops is set.
+	HopAckTimeout time.Duration
+	// DeadQuarantine is how long a removed (suspected-failed) contact is
+	// refused re-insertion, so that repair replies from peers that have not
+	// yet noticed the failure cannot resurrect it.
+	DeadQuarantine time.Duration
+	// Proximity estimates the network distance between two addresses; when
+	// set, routing-table slots prefer physically closer candidates,
+	// which is Pastry's locality property. May be nil.
+	Proximity func(a, b transport.Addr) float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.B == 0 {
+		c.B = 4
+	}
+	if c.LeafSetSize == 0 {
+		c.LeafSetSize = 24
+	}
+	if c.NeighborhoodSize == 0 {
+		c.NeighborhoodSize = 16
+	}
+	if c.HopAckTimeout == 0 {
+		c.HopAckTimeout = 200 * time.Millisecond
+	}
+	if c.DeadQuarantine == 0 {
+		c.DeadQuarantine = 2 * time.Second
+	}
+	return c
+}
+
+type pendingHop struct {
+	env    Envelope
+	next   Contact
+	cancel func()
+}
+
+// Node is one overlay participant.
+type Node struct {
+	env  transport.Env
+	cfg  Config
+	self Contact
+	app  App
+
+	rt        [][]Contact // [row][digit]
+	leafCW    []Contact   // successors, sorted by clockwise distance
+	leafCCW   []Contact   // predecessors, sorted by counter-clockwise distance
+	neighbors []Contact
+
+	seq       uint64
+	pending   map[uint64]*pendingHop
+	joined    bool
+	deadUntil map[transport.Addr]time.Duration
+	// Maintenance probe bookkeeping (StartMaintenance).
+	probeSent map[transport.Addr]time.Duration
+	lastPong  map[transport.Addr]time.Duration
+
+	// Stats counts local observations for the experiment harness.
+	Stats Stats
+}
+
+// Stats aggregates per-node overlay counters.
+type Stats struct {
+	Delivered  int // routes that terminated here
+	Forwarded  int // routes passed on
+	HopRetries int // reliable-hop timeouts that caused a re-route
+}
+
+// New creates a node. Call SetApp before routing if the application wants
+// upcalls, then Join (or include the node in a static build).
+func New(env transport.Env, self Contact, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		env:       env,
+		cfg:       cfg,
+		self:      self,
+		app:       NopApp{},
+		rt:        make([][]Contact, ids.NumDigits(cfg.B)),
+		pending:   make(map[uint64]*pendingHop),
+		deadUntil: make(map[transport.Addr]time.Duration),
+		probeSent: make(map[transport.Addr]time.Duration),
+		lastPong:  make(map[transport.Addr]time.Duration),
+	}
+	for i := range n.rt {
+		n.rt[i] = make([]Contact, 1<<uint(cfg.B))
+	}
+	return n
+}
+
+// SetApp installs the application upcall handler.
+func (n *Node) SetApp(app App) { n.app = app }
+
+// Self returns this node's contact.
+func (n *Node) Self() Contact { return n.self }
+
+// Config returns the node configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Joined reports whether the node completed a join (static builds mark
+// nodes joined directly).
+func (n *Node) Joined() bool { return n.joined }
+
+// Route sends payload toward the live node whose ID is numerically closest
+// to key, invoking App upcalls along the way.
+func (n *Node) Route(key ids.ID, payload any) {
+	n.handleEnvelope(Envelope{Key: key, Source: n.self, Hops: 0, Payload: payload})
+}
+
+// Receive implements transport.Handler for ring messages.
+func (n *Node) Receive(from transport.Addr, msg any) {
+	switch m := msg.(type) {
+	case Envelope:
+		if n.cfg.ReliableHops && from != n.self.Addr {
+			n.env.Send(from, HopAck{Seq: m.Seq})
+		}
+		n.considerContact(m.Source)
+		n.handleEnvelope(m)
+	case HopAck:
+		if p, ok := n.pending[m.Seq]; ok {
+			p.cancel()
+			delete(n.pending, m.Seq)
+		}
+	case JoinRequest:
+		n.handleJoinRequest(m)
+	case JoinReply:
+		n.handleJoinReply(m)
+	case NodeJoined:
+		n.considerContact(m.Node)
+	case LeafsetRequest:
+		n.env.Send(from, LeafsetReply{From: n.self, Leafset: n.Leafset()})
+	case LeafsetReply:
+		n.considerContact(m.From)
+		for _, c := range m.Leafset {
+			n.considerContact(c)
+		}
+	case Ping:
+		n.considerContact(m.From)
+		n.env.Send(from, Pong{From: n.self})
+	case Pong:
+		n.lastPong[m.From.Addr] = n.env.Now()
+		n.considerContact(m.From)
+	}
+}
+
+// handleEnvelope routes e one step from this node.
+func (n *Node) handleEnvelope(e Envelope) {
+	next := n.NextHop(e.Key)
+	if next.IsZero() {
+		n.Stats.Delivered++
+		n.app.Deliver(Delivery{Key: e.Key, Source: e.Source, Hops: e.Hops, Payload: e.Payload})
+		return
+	}
+	d := Delivery{Key: e.Key, Source: e.Source, Hops: e.Hops, Payload: e.Payload}
+	if !n.app.Forward(&d, next) {
+		return // consumed by the application (e.g. pub/sub JOIN splice)
+	}
+	e.Payload = d.Payload
+	n.Stats.Forwarded++
+	n.forward(e, next)
+}
+
+func (n *Node) forward(e Envelope, next Contact) {
+	e.Hops++
+	if n.cfg.ReliableHops {
+		n.seq++
+		e.Seq = n.seq
+		p := &pendingHop{env: e, next: next}
+		p.cancel = n.env.After(n.cfg.HopAckTimeout, func() {
+			if _, ok := n.pending[e.Seq]; !ok {
+				return
+			}
+			delete(n.pending, e.Seq)
+			n.Stats.HopRetries++
+			n.RemoveContact(next.Addr)
+			retry := p.env
+			retry.Hops-- // hop did not happen
+			n.handleEnvelope(retry)
+		})
+		n.pending[e.Seq] = p
+	}
+	n.env.Send(next.Addr, e)
+}
+
+// NextHop computes the greedy next hop for key, or the zero Contact when
+// this node is the key's owner.
+func (n *Node) NextHop(key ids.ID) Contact {
+	return n.nextHop(key, transport.None)
+}
+
+// nextHop is NextHop with an optional excluded address. The join protocol
+// excludes the joiner itself: every hop has already learned the joiner's
+// contact, and routing "toward the joiner" would otherwise end the route at
+// the joiner instead of at the closest existing member.
+func (n *Node) nextHop(key ids.ID, exclude transport.Addr) Contact {
+	if key == n.self.ID {
+		return Contact{}
+	}
+	// Leaf set range check: if the key falls between the extreme leaves,
+	// the numerically closest of {leafset ∪ self} owns it.
+	if n.inLeafRange(key) {
+		cands := append(n.leafsetExcluding(exclude), n.self)
+		best := closestContact(key, cands)
+		if best.Addr == n.self.Addr {
+			return Contact{}
+		}
+		return best
+	}
+	row := ids.CommonPrefix(n.self.ID, key, n.cfg.B)
+	if row >= len(n.rt) {
+		return Contact{}
+	}
+	col := key.Digit(row, n.cfg.B)
+	if c := n.rt[row][col]; !c.IsZero() && c.Addr != exclude {
+		return c
+	}
+	// Rare case: no entry. Fall back to any known contact that is both at
+	// least as prefix-close and numerically closer to the key than we are.
+	best := n.self
+	for _, c := range n.knownContacts() {
+		if c.Addr == exclude {
+			continue
+		}
+		if ids.CommonPrefix(c.ID, key, n.cfg.B) >= row && ids.Closer(key, c.ID, best.ID) {
+			best = c
+		}
+	}
+	if best.Addr == n.self.Addr {
+		return Contact{}
+	}
+	return best
+}
+
+// leafsetExcluding returns the leaf set minus one address.
+func (n *Node) leafsetExcluding(exclude transport.Addr) []Contact {
+	ls := n.Leafset()
+	if exclude == transport.None {
+		return ls
+	}
+	out := ls[:0]
+	for _, c := range ls {
+		if c.Addr != exclude {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// inLeafRange reports whether key falls inside the span covered by the leaf
+// set. With fewer than LeafSetSize/2 leaves per side the node knows the
+// whole (small) ring and the range is considered to cover everything.
+func (n *Node) inLeafRange(key ids.ID) bool {
+	if len(n.leafCW) == 0 || len(n.leafCCW) == 0 {
+		return true
+	}
+	if len(n.leafCW) < n.cfg.LeafSetSize/2 || len(n.leafCCW) < n.cfg.LeafSetSize/2 {
+		return true
+	}
+	lo := n.leafCCW[len(n.leafCCW)-1].ID // farthest predecessor
+	hi := n.leafCW[len(n.leafCW)-1].ID   // farthest successor
+	return ids.Between(key, lo, hi) || key == lo
+}
+
+// Leafset returns the union of both leaf-set halves (no duplicates).
+func (n *Node) Leafset() []Contact {
+	out := make([]Contact, 0, len(n.leafCW)+len(n.leafCCW))
+	seen := make(map[transport.Addr]bool, len(n.leafCW)+len(n.leafCCW))
+	for _, c := range n.leafCW {
+		if !seen[c.Addr] {
+			seen[c.Addr] = true
+			out = append(out, c)
+		}
+	}
+	for _, c := range n.leafCCW {
+		if !seen[c.Addr] {
+			seen[c.Addr] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the physical-proximity neighborhood set.
+func (n *Node) Neighbors() []Contact { return n.neighbors }
+
+// knownContacts returns every contact in the node's state.
+func (n *Node) knownContacts() []Contact {
+	out := n.Leafset()
+	for _, row := range n.rt {
+		for _, c := range row {
+			if !c.IsZero() {
+				out = append(out, c)
+			}
+		}
+	}
+	out = append(out, n.neighbors...)
+	return out
+}
+
+// KnownContacts exposes knownContacts for diagnostics and tests.
+func (n *Node) KnownContacts() []Contact { return n.knownContacts() }
+
+// considerContact folds c into the leaf set, routing table, and
+// neighborhood set wherever it improves them.
+func (n *Node) considerContact(c Contact) {
+	if c.IsZero() || c.Addr == n.self.Addr || c.ID == n.self.ID {
+		return
+	}
+	if until, ok := n.deadUntil[c.Addr]; ok {
+		if n.env.Now() < until {
+			return // quarantined: recently declared dead
+		}
+		delete(n.deadUntil, c.Addr)
+	}
+	n.insertLeaf(c)
+	n.insertRT(c)
+	n.insertNeighbor(c)
+}
+
+func (n *Node) insertLeaf(c Contact) {
+	n.leafCW = insertSorted(n.self.ID, n.leafCW, c, true, n.cfg.LeafSetSize/2)
+	n.leafCCW = insertSorted(n.self.ID, n.leafCCW, c, false, n.cfg.LeafSetSize/2)
+}
+
+// insertSorted inserts c into a distance-sorted leaf half (cw or ccw),
+// deduplicating by address and trimming to max entries.
+func insertSorted(self ids.ID, list []Contact, c Contact, cw bool, max int) []Contact {
+	dist := func(x Contact) ids.ID {
+		if cw {
+			return ids.CWDist(self, x.ID)
+		}
+		return ids.CWDist(x.ID, self)
+	}
+	for _, e := range list {
+		if e.Addr == c.Addr {
+			return list
+		}
+	}
+	pos := len(list)
+	dc := dist(c)
+	for i, e := range list {
+		if dc.Less(dist(e)) {
+			pos = i
+			break
+		}
+	}
+	list = append(list, Contact{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
+	if len(list) > max {
+		list = list[:max]
+	}
+	return list
+}
+
+func (n *Node) insertRT(c Contact) {
+	row := ids.CommonPrefix(n.self.ID, c.ID, n.cfg.B)
+	if row >= len(n.rt) {
+		return
+	}
+	col := c.ID.Digit(row, n.cfg.B)
+	cur := n.rt[row][col]
+	switch {
+	case cur.IsZero():
+		n.rt[row][col] = c
+	case n.cfg.Proximity != nil &&
+		n.cfg.Proximity(n.self.Addr, c.Addr) < n.cfg.Proximity(n.self.Addr, cur.Addr):
+		n.rt[row][col] = c
+	}
+}
+
+func (n *Node) insertNeighbor(c Contact) {
+	if n.cfg.Proximity == nil {
+		return
+	}
+	for _, e := range n.neighbors {
+		if e.Addr == c.Addr {
+			return
+		}
+	}
+	n.neighbors = append(n.neighbors, c)
+	if len(n.neighbors) > n.cfg.NeighborhoodSize {
+		// Evict the farthest.
+		worst, wd := -1, -1.0
+		for i, e := range n.neighbors {
+			d := n.cfg.Proximity(n.self.Addr, e.Addr)
+			if d > wd {
+				worst, wd = i, d
+			}
+		}
+		n.neighbors = append(n.neighbors[:worst], n.neighbors[worst+1:]...)
+	}
+}
+
+// RemoveContact scrubs a suspected-failed address from all routing state
+// and starts leaf-set repair if a leaf was lost.
+func (n *Node) RemoveContact(addr transport.Addr) {
+	n.deadUntil[addr] = n.env.Now() + n.cfg.DeadQuarantine
+	repaired := false
+	filter := func(list []Contact) []Contact {
+		out := list[:0]
+		for _, c := range list {
+			if c.Addr != addr {
+				out = append(out, c)
+			} else {
+				repaired = true
+			}
+		}
+		return out
+	}
+	n.leafCW = filter(n.leafCW)
+	n.leafCCW = filter(n.leafCCW)
+	n.neighbors = filter(n.neighbors)
+	for _, row := range n.rt {
+		for i, c := range row {
+			if c.Addr == addr {
+				row[i] = Contact{}
+			}
+		}
+	}
+	if repaired {
+		n.repairLeafset()
+	}
+}
+
+// repairLeafset asks the extreme remaining leaves for their leaf sets; the
+// merged replies refill the lost slots (paper §4.2: the leaf set "is used
+// for rebuilding the routing tables upon failures").
+func (n *Node) repairLeafset() {
+	if len(n.leafCW) > 0 {
+		n.env.Send(n.leafCW[len(n.leafCW)-1].Addr, LeafsetRequest{})
+	}
+	if len(n.leafCCW) > 0 {
+		n.env.Send(n.leafCCW[len(n.leafCCW)-1].Addr, LeafsetRequest{})
+	}
+}
+
+// Join bootstraps the node into an existing overlay through any member.
+func (n *Node) Join(bootstrap transport.Addr) {
+	n.env.Send(bootstrap, JoinRequest{Joiner: n.self})
+}
+
+func (n *Node) handleJoinRequest(m JoinRequest) {
+	n.considerContact(m.Joiner)
+	// Contribute routing rows 0..commonPrefix to the joiner's future table.
+	cp := ids.CommonPrefix(n.self.ID, m.Joiner.ID, n.cfg.B)
+	for r := 0; r <= cp && r < len(n.rt); r++ {
+		row := make([]Contact, 0, len(n.rt[r]))
+		for _, c := range n.rt[r] {
+			if !c.IsZero() {
+				row = append(row, c)
+			}
+		}
+		row = append(row, n.self)
+		m.Rows = append(m.Rows, row)
+	}
+	next := n.nextHop(m.Joiner.ID, m.Joiner.Addr)
+	if next.IsZero() {
+		// We are the numerically closest *existing* node: complete the join.
+		reply := JoinReply{Root: n.self, Rows: m.Rows, Leafset: n.Leafset()}
+		n.env.Send(m.Joiner.Addr, reply)
+		return
+	}
+	m.Hops++
+	n.env.Send(next.Addr, m)
+}
+
+func (n *Node) handleJoinReply(m JoinReply) {
+	n.considerContact(m.Root)
+	for _, row := range m.Rows {
+		for _, c := range row {
+			n.considerContact(c)
+		}
+	}
+	for _, c := range m.Leafset {
+		n.considerContact(c)
+	}
+	n.joined = true
+	// Announce ourselves to everything we learned so they fold us into
+	// their own state.
+	for _, c := range n.knownContacts() {
+		n.env.Send(c.Addr, NodeJoined{Node: n.self})
+	}
+}
+
+// ProbeLeafset sends one liveness probe to every leaf-set member — one
+// cycle of the overlay's periodic maintenance traffic.
+func (n *Node) ProbeLeafset() {
+	for _, c := range n.Leafset() {
+		n.env.Send(c.Addr, Ping{From: n.self})
+	}
+}
+
+// StartMaintenance runs periodic leaf-set maintenance: every interval the
+// node probes its leaves, and a leaf that never answered the previous
+// cycle's probe is declared failed, scrubbed from all routing state, and
+// the leaf set repaired from the survivors (§4.2: the leaf set "is used
+// for rebuilding the routing tables upon failures"). The returned stop
+// function cancels the loop.
+func (n *Node) StartMaintenance(interval time.Duration) (stop func()) {
+	stopped := false
+	var cancel func()
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		n.maintainOnce()
+		cancel = n.env.After(interval, tick)
+	}
+	cancel = n.env.After(interval, tick)
+	return func() {
+		stopped = true
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// maintainOnce performs one maintenance cycle.
+func (n *Node) maintainOnce() {
+	now := n.env.Now()
+	for _, c := range n.Leafset() {
+		if sent, probed := n.probeSent[c.Addr]; probed && n.lastPong[c.Addr] < sent {
+			// No pong since the previous probe: declare the leaf failed.
+			delete(n.probeSent, c.Addr)
+			n.RemoveContact(c.Addr)
+			continue
+		}
+		n.probeSent[c.Addr] = now
+		n.env.Send(c.Addr, Ping{From: n.self})
+	}
+}
+
+// MarkJoined is used by the static overlay builder.
+func (n *Node) MarkJoined() { n.joined = true }
+
+// AddContactDirect inserts a contact without any messaging, clearing any
+// dead-quarantine for it (static builds, revived nodes, and tests).
+func (n *Node) AddContactDirect(c Contact) {
+	delete(n.deadUntil, c.Addr)
+	n.considerContact(c)
+}
+
+// RTEntries counts the populated routing-table slots.
+func (n *Node) RTEntries() int {
+	total := 0
+	for _, row := range n.rt {
+		for _, c := range row {
+			if !c.IsZero() {
+				total++
+			}
+		}
+	}
+	return total
+}

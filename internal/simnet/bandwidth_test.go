@@ -1,0 +1,104 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"totoro/internal/transport"
+)
+
+type bigMsg struct{ n int }
+
+func (b bigMsg) WireSize() int { return b.n }
+
+func TestBandwidthSerializesIngress(t *testing.T) {
+	// 10 senders each ship 1000 bytes to a sink limited to 1000 B/s: the
+	// last delivery must land around 10 seconds, not in parallel.
+	net := New(Config{Latency: ConstLatency(0)})
+	var lastAt time.Duration
+	var got int
+	sinkEnv := net.AddNode("sink", func(e transport.Env) transport.Handler {
+		return transport.HandlerFunc(func(from transport.Addr, msg any) {
+			got++
+			lastAt = e.Now()
+		})
+	})
+	_ = sinkEnv
+	net.SetBandwidth("sink", 1000)
+	for i := 0; i < 10; i++ {
+		addr := transport.Addr(string(rune('a' + i)))
+		env := net.AddNode(addr, func(e transport.Env) transport.Handler {
+			return transport.HandlerFunc(func(transport.Addr, any) {})
+		})
+		env.Send("sink", bigMsg{n: 1000})
+	}
+	net.RunUntilIdle()
+	if got != 10 {
+		t.Fatalf("got %d deliveries", got)
+	}
+	if lastAt < 9*time.Second || lastAt > 11*time.Second {
+		t.Fatalf("last delivery at %v want ~10s", lastAt)
+	}
+}
+
+func TestBandwidthSerializesEgress(t *testing.T) {
+	// One sender with 1000 B/s egress sends two 1000-byte messages to two
+	// unconstrained sinks: second arrives ~2s.
+	net := New(Config{Latency: ConstLatency(0)})
+	arrivals := map[transport.Addr]time.Duration{}
+	mk := func(addr transport.Addr) {
+		net.AddNode(addr, func(e transport.Env) transport.Handler {
+			return transport.HandlerFunc(func(transport.Addr, any) {
+				arrivals[addr] = e.Now()
+			})
+		})
+	}
+	mk("s1")
+	mk("s2")
+	src := net.AddNode("src", func(e transport.Env) transport.Handler {
+		return transport.HandlerFunc(func(transport.Addr, any) {})
+	})
+	net.SetBandwidth("src", 1000)
+	src.Send("s1", bigMsg{n: 1000})
+	src.Send("s2", bigMsg{n: 1000})
+	net.RunUntilIdle()
+	if arrivals["s1"] < 900*time.Millisecond || arrivals["s1"] > 1100*time.Millisecond {
+		t.Fatalf("first arrival %v want ~1s", arrivals["s1"])
+	}
+	if arrivals["s2"] < 1900*time.Millisecond || arrivals["s2"] > 2100*time.Millisecond {
+		t.Fatalf("second arrival %v want ~2s", arrivals["s2"])
+	}
+}
+
+func TestUnlimitedBandwidthUnchanged(t *testing.T) {
+	net := New(Config{Latency: ConstLatency(time.Millisecond)})
+	var at time.Duration
+	net.AddNode("sink", func(e transport.Env) transport.Handler {
+		return transport.HandlerFunc(func(transport.Addr, any) { at = e.Now() })
+	})
+	src := net.AddNode("src", func(e transport.Env) transport.Handler {
+		return transport.HandlerFunc(func(transport.Addr, any) {})
+	})
+	src.Send("sink", bigMsg{n: 1 << 30})
+	net.RunUntilIdle()
+	if at != time.Millisecond {
+		t.Fatalf("delivery at %v want 1ms", at)
+	}
+}
+
+func TestDefaultBandwidthApplied(t *testing.T) {
+	net := New(Config{Latency: ConstLatency(0), DefaultBandwidth: 100})
+	var at time.Duration
+	net.AddNode("sink", func(e transport.Env) transport.Handler {
+		return transport.HandlerFunc(func(transport.Addr, any) { at = e.Now() })
+	})
+	src := net.AddNode("src", func(e transport.Env) transport.Handler {
+		return transport.HandlerFunc(func(transport.Addr, any) {})
+	})
+	src.Send("sink", bigMsg{n: 100})
+	net.RunUntilIdle()
+	// 1s egress + 1s ingress at 100 B/s.
+	if at < 1900*time.Millisecond || at > 2100*time.Millisecond {
+		t.Fatalf("delivery at %v want ~2s", at)
+	}
+}

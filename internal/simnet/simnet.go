@@ -1,0 +1,382 @@
+// Package simnet is a deterministic discrete-event simulator for edge
+// networks.
+//
+// The paper evaluates Totoro by emulating up to 100k edge nodes on 500 EC2
+// machines (§7.1). This package plays the same role in-process: each edge
+// node is a transport.Handler driven by a single event loop with a virtual
+// clock, so experiments over 10^5 nodes run deterministically in one
+// process. The simulator models:
+//
+//   - per-link propagation latency (pluggable; the experiments derive it
+//     from synthetic geographic coordinates, mirroring the paper's use of
+//     the EUA dataset),
+//   - stochastic Bernoulli link loss (the unreliable-edge-network model of
+//     §5.1),
+//   - node churn (nodes failing, leaving, and joining mid-run, §7.5), and
+//   - per-node traffic accounting (bytes and messages in/out, Fig 7).
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"totoro/internal/transport"
+)
+
+// LatencyFunc returns the one-way propagation delay from a to b.
+type LatencyFunc func(a, b transport.Addr) time.Duration
+
+// LossFunc returns the probability in [0,1] that a message from a to b is
+// dropped in flight.
+type LossFunc func(a, b transport.Addr) float64
+
+// Config parameterizes a Network.
+type Config struct {
+	// Seed drives all randomness in the network and in node Rand() sources.
+	Seed int64
+	// Latency models one-way link delay. Nil means ConstLatency(1ms).
+	Latency LatencyFunc
+	// Loss models link drop probability. Nil means no loss.
+	Loss LossFunc
+	// Observer, when set, sees every delivered message (src, dst, wire
+	// size). Experiments use it for pairwise traffic accounting.
+	Observer func(from, to transport.Addr, size int)
+	// DefaultBandwidth is each node's egress/ingress bandwidth in
+	// bytes/second; 0 means unlimited (no serialization delay). Individual
+	// nodes can be overridden with SetBandwidth. Bandwidth is what turns a
+	// node that many peers talk to simultaneously into a measurable
+	// bottleneck — the effect behind the centralized-baseline comparison.
+	DefaultBandwidth int64
+}
+
+// ConstLatency returns a LatencyFunc with a fixed one-way delay.
+func ConstLatency(d time.Duration) LatencyFunc {
+	return func(a, b transport.Addr) time.Duration { return d }
+}
+
+// Traffic aggregates the byte/message counters for one node.
+type Traffic struct {
+	MsgsIn, MsgsOut   int
+	BytesIn, BytesOut int64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type simNode struct {
+	addr    transport.Addr
+	handler transport.Handler
+	rng     *rand.Rand
+	alive   bool
+	traffic Traffic
+	// bandwidth in bytes/sec; 0 = unlimited.
+	bandwidth int64
+	// egressFree/ingressFree are the times the node's NIC queues drain.
+	egressFree  time.Duration
+	ingressFree time.Duration
+}
+
+// txTime returns how long size bytes occupy this node's link.
+func (n *simNode) txTime(size int) time.Duration {
+	if n.bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / float64(n.bandwidth) * float64(time.Second))
+}
+
+// Network is the simulator. It is not safe for concurrent use; the event
+// loop is single-threaded by design for determinism.
+type Network struct {
+	cfg     Config
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	nodes   map[transport.Addr]*simNode
+	rng     *rand.Rand
+	latency LatencyFunc
+	loss    LossFunc
+	// Delivered counts total messages actually delivered.
+	Delivered int64
+	// Dropped counts messages lost to link loss or dead destinations.
+	Dropped int64
+}
+
+// New creates an empty simulated network.
+func New(cfg Config) *Network {
+	if cfg.Latency == nil {
+		cfg.Latency = ConstLatency(time.Millisecond)
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = func(a, b transport.Addr) float64 { return 0 }
+	}
+	return &Network{
+		cfg:     cfg,
+		nodes:   make(map[transport.Addr]*simNode),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		latency: cfg.Latency,
+		loss:    cfg.Loss,
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// env implements transport.Env for one node.
+type env struct {
+	net  *Network
+	node *simNode
+}
+
+func (e *env) Self() transport.Addr { return e.node.addr }
+func (e *env) Now() time.Duration   { return e.net.now }
+func (e *env) Rand() *rand.Rand     { return e.node.rng }
+
+func (e *env) Send(to transport.Addr, msg any) {
+	e.net.send(e.node, to, msg)
+}
+
+func (e *env) After(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	node := e.node
+	ev := e.net.schedule(d, func() {
+		if node.alive {
+			fn()
+		}
+	})
+	return func() { ev.fn = nil }
+}
+
+// AddNode registers a node. build receives the node's Env and returns its
+// Handler; it typically constructs the whole protocol stack for the node.
+func (n *Network) AddNode(addr transport.Addr, build func(transport.Env) transport.Handler) transport.Env {
+	if _, dup := n.nodes[addr]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", addr))
+	}
+	node := &simNode{
+		addr:      addr,
+		rng:       rand.New(rand.NewSource(n.cfg.Seed ^ int64(hashAddr(addr)))),
+		alive:     true,
+		bandwidth: n.cfg.DefaultBandwidth,
+	}
+	n.nodes[addr] = node
+	e := &env{net: n, node: node}
+	node.handler = build(e)
+	return e
+}
+
+func hashAddr(a transport.Addr) uint64 {
+	// FNV-1a over the address string.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (n *Network) send(from *simNode, to transport.Addr, msg any) {
+	if !from.alive {
+		return
+	}
+	size := transport.SizeOf(msg)
+	from.traffic.MsgsOut++
+	from.traffic.BytesOut += int64(size)
+	if p := n.loss(from.addr, to); p > 0 && n.rng.Float64() < p {
+		n.Dropped++
+		return
+	}
+	// Egress serialization: the sender's NIC transmits one frame at a time.
+	txStart := n.now
+	if from.egressFree > txStart {
+		txStart = from.egressFree
+	}
+	txEnd := txStart + from.txTime(size)
+	from.egressFree = txEnd
+	arrival := txEnd + n.latency(from.addr, to)
+	// Ingress serialization: the receiver drains its link in arrival order.
+	// (Known at schedule time because the event loop is single-threaded.)
+	deliverAt := arrival
+	if dst, ok := n.nodes[to]; ok {
+		if dst.ingressFree > deliverAt {
+			deliverAt = dst.ingressFree
+		}
+		deliverAt += dst.txTime(size)
+		dst.ingressFree = deliverAt
+	}
+	src := from.addr
+	n.schedule(deliverAt-n.now, func() {
+		dst, ok := n.nodes[to]
+		if !ok || !dst.alive {
+			n.Dropped++
+			return
+		}
+		dst.traffic.MsgsIn++
+		dst.traffic.BytesIn += int64(size)
+		n.Delivered++
+		if n.cfg.Observer != nil {
+			n.cfg.Observer(src, to, size)
+		}
+		dst.handler.Receive(src, msg)
+	})
+}
+
+// SetBandwidth overrides one node's egress/ingress bandwidth (bytes/sec;
+// 0 = unlimited).
+func (n *Network) SetBandwidth(addr transport.Addr, bytesPerSec int64) {
+	if node, ok := n.nodes[addr]; ok {
+		node.bandwidth = bytesPerSec
+	}
+}
+
+func (n *Network) schedule(d time.Duration, fn func()) *event {
+	n.seq++
+	ev := &event{at: n.now + d, seq: n.seq, fn: fn}
+	heap.Push(&n.queue, ev)
+	return ev
+}
+
+// Step executes the next pending event. It reports false when the queue is
+// empty.
+func (n *Network) Step() bool {
+	for n.queue.Len() > 0 {
+		ev := heap.Pop(&n.queue).(*event)
+		if ev.fn == nil { // cancelled timer
+			continue
+		}
+		n.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains all events until the queue is empty or the virtual clock would
+// pass deadline. It returns the number of events executed.
+func (n *Network) Run(deadline time.Duration) int {
+	steps := 0
+	for n.queue.Len() > 0 {
+		next := n.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			n.now = deadline
+			return steps
+		}
+		n.Step()
+		steps++
+	}
+	return steps
+}
+
+// RunUntilIdle drains every pending event (including future timers). Use
+// with care when protocols schedule periodic timers: prefer Run(deadline).
+func (n *Network) RunUntilIdle() int {
+	steps := 0
+	for n.Step() {
+		steps++
+	}
+	return steps
+}
+
+func (n *Network) peek() *event {
+	for n.queue.Len() > 0 {
+		if n.queue[0].fn == nil {
+			heap.Pop(&n.queue)
+			continue
+		}
+		return n.queue[0]
+	}
+	return nil
+}
+
+// Pending reports the number of live queued events.
+func (n *Network) Pending() int {
+	c := 0
+	for _, e := range n.queue {
+		if e.fn != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// Fail marks a node as crashed: it stops receiving messages and its pending
+// timers are suppressed. Counterpart of the 5%-simultaneous-failure churn
+// experiment (Fig 12).
+func (n *Network) Fail(addr transport.Addr) {
+	if node, ok := n.nodes[addr]; ok {
+		node.alive = false
+	}
+}
+
+// Revive brings a failed node back (used to model re-joining churn).
+func (n *Network) Revive(addr transport.Addr) {
+	if node, ok := n.nodes[addr]; ok {
+		node.alive = true
+	}
+}
+
+// Alive reports whether the node exists and is up.
+func (n *Network) Alive(addr transport.Addr) bool {
+	node, ok := n.nodes[addr]
+	return ok && node.alive
+}
+
+// TrafficOf returns a copy of the traffic counters for addr.
+func (n *Network) TrafficOf(addr transport.Addr) Traffic {
+	if node, ok := n.nodes[addr]; ok {
+		return node.traffic
+	}
+	return Traffic{}
+}
+
+// ResetTraffic zeroes every node's counters (used between experiment phases).
+func (n *Network) ResetTraffic() {
+	for _, node := range n.nodes {
+		node.traffic = Traffic{}
+	}
+	n.Delivered, n.Dropped = 0, 0
+}
+
+// Addrs returns all registered node addresses in insertion-independent
+// deterministic (sorted) order.
+func (n *Network) Addrs() []transport.Addr {
+	out := make([]transport.Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }

@@ -1,0 +1,231 @@
+// Package tcpnet is the real-network implementation of transport.Env:
+// length-delimited gob frames over TCP, one event-loop goroutine per node
+// so that protocol handlers keep the single-threaded semantics they have
+// under the simulator.
+//
+// It exists so that the exact same Engine that runs in simulation can run
+// as a live process (cmd/totoro-node): Join a bootstrap peer, build trees,
+// broadcast, and aggregate across machines.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"totoro/internal/transport"
+	"totoro/internal/wire"
+)
+
+// frame is the on-wire unit.
+type frame struct {
+	From transport.Addr
+	Msg  any
+}
+
+// Node is one live endpoint: a listener plus outbound connections and a
+// single-threaded event loop.
+type Node struct {
+	addr     transport.Addr
+	listener net.Listener
+	handler  transport.Handler
+	start    time.Time
+	rng      *rand.Rand
+
+	events chan func()
+	done   chan struct{}
+
+	mu    sync.Mutex
+	conns map[transport.Addr]*outConn
+
+	closeOnce sync.Once
+}
+
+type outConn struct {
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+// Listen starts a node on the given TCP address ("host:port"). build
+// receives the node's Env and returns its Handler (typically a
+// totoro.Engine). The returned Node runs until Close.
+func Listen(addr string, build func(transport.Env) transport.Handler) (*Node, error) {
+	wire.Register()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		addr:     transport.Addr(l.Addr().String()),
+		listener: l,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		events:   make(chan func(), 1024),
+		done:     make(chan struct{}),
+		conns:    make(map[transport.Addr]*outConn),
+	}
+	n.handler = build(n.env())
+	go n.loop()
+	go n.accept()
+	return n, nil
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() transport.Addr { return n.addr }
+
+// Close shuts the node down.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.listener.Close()
+		n.mu.Lock()
+		for _, oc := range n.conns {
+			oc.c.Close()
+		}
+		n.mu.Unlock()
+	})
+}
+
+// Do runs fn on the node's event loop and waits for it — the way external
+// code (main functions, tests) safely calls Engine methods.
+func (n *Node) Do(fn func()) {
+	doneCh := make(chan struct{})
+	select {
+	case n.events <- func() { fn(); close(doneCh) }:
+	case <-n.done:
+		return
+	}
+	select {
+	case <-doneCh:
+	case <-n.done:
+	}
+}
+
+// loop is the single-threaded event executor: every received message and
+// every timer runs here, exactly like the simulator's event loop.
+func (n *Node) loop() {
+	for {
+		select {
+		case fn := <-n.events:
+			fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) accept() {
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		go n.readLoop(c)
+	}
+}
+
+func (n *Node) readLoop(c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		select {
+		case n.events <- func() { n.handler.Receive(f.From, f.Msg) }:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// env implements transport.Env backed by real time and sockets.
+type tcpEnv struct{ n *Node }
+
+func (n *Node) env() transport.Env { return &tcpEnv{n: n} }
+
+func (e *tcpEnv) Self() transport.Addr { return e.n.addr }
+func (e *tcpEnv) Now() time.Duration   { return time.Since(e.n.start) }
+func (e *tcpEnv) Rand() *rand.Rand     { return e.n.rng }
+
+func (e *tcpEnv) Send(to transport.Addr, msg any) {
+	n := e.n
+	go func() {
+		if err := n.send(to, msg); err != nil {
+			// Connection-level failures surface to protocols as silence,
+			// the same failure model the simulator presents.
+			n.dropConn(to)
+		}
+	}()
+}
+
+func (e *tcpEnv) After(d time.Duration, fn func()) (cancel func()) {
+	n := e.n
+	stopped := make(chan struct{})
+	var once sync.Once
+	t := time.AfterFunc(d, func() {
+		select {
+		case <-stopped:
+			return
+		default:
+		}
+		select {
+		case n.events <- fn:
+		case <-n.done:
+		}
+	})
+	return func() {
+		once.Do(func() { close(stopped) })
+		t.Stop()
+	}
+}
+
+func (n *Node) send(to transport.Addr, msg any) error {
+	oc, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, ok := n.conns[to]; !ok || cur != oc {
+		return errors.New("tcpnet: connection replaced")
+	}
+	return oc.enc.Encode(frame{From: n.addr, Msg: msg})
+}
+
+func (n *Node) conn(to transport.Addr) (*outConn, error) {
+	n.mu.Lock()
+	if oc, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return oc, nil
+	}
+	n.mu.Unlock()
+	c, err := net.DialTimeout("tcp", string(to), 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	oc := &outConn{enc: gob.NewEncoder(c), c: c}
+	n.mu.Lock()
+	if cur, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		c.Close()
+		return cur, nil
+	}
+	n.conns[to] = oc
+	n.mu.Unlock()
+	return oc, nil
+}
+
+func (n *Node) dropConn(to transport.Addr) {
+	n.mu.Lock()
+	if oc, ok := n.conns[to]; ok {
+		oc.c.Close()
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+package tcpnet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"totoro/internal/transport"
+)
+
+type echoHandler struct {
+	env  transport.Env
+	seen atomic.Int64
+}
+
+func (h *echoHandler) Receive(from transport.Addr, msg any) {
+	h.seen.Add(1)
+	if s, ok := msg.(string); ok && s == "ping" {
+		h.env.Send(from, "pong")
+	}
+}
+
+func startNode(t *testing.T) (*Node, *echoHandler) {
+	t.Helper()
+	h := &echoHandler{}
+	n, err := Listen("127.0.0.1:0", func(e transport.Env) transport.Handler {
+		h.env = e
+		return h
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n, h
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met in time")
+}
+
+func TestRoundTripOverTCP(t *testing.T) {
+	a, ha := startNode(t)
+	b, hb := startNode(t)
+	a.Do(func() { ha.env.Send(b.Addr(), "ping") })
+	waitFor(t, func() bool { return hb.seen.Load() >= 1 })
+	waitFor(t, func() bool { return ha.seen.Load() >= 1 })
+}
+
+func TestTimersFireOnEventLoop(t *testing.T) {
+	a, ha := startNode(t)
+	var fired atomic.Bool
+	a.Do(func() {
+		ha.env.After(20*time.Millisecond, func() { fired.Store(true) })
+	})
+	waitFor(t, fired.Load)
+	// Cancelled timers must not fire.
+	var bad atomic.Bool
+	a.Do(func() {
+		cancel := ha.env.After(20*time.Millisecond, func() { bad.Store(true) })
+		cancel()
+	})
+	time.Sleep(60 * time.Millisecond)
+	if bad.Load() {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestSendToDeadPeerIsSilent(t *testing.T) {
+	a, ha := startNode(t)
+	b, _ := startNode(t)
+	dead := b.Addr()
+	b.Close()
+	time.Sleep(20 * time.Millisecond)
+	// Must not panic or block.
+	a.Do(func() { ha.env.Send(dead, "into the void") })
+	time.Sleep(50 * time.Millisecond)
+}
+
+func TestNowMonotone(t *testing.T) {
+	a, ha := startNode(t)
+	var t1, t2 time.Duration
+	a.Do(func() { t1 = ha.env.Now() })
+	time.Sleep(15 * time.Millisecond)
+	a.Do(func() { t2 = ha.env.Now() })
+	if t2 <= t1 {
+		t.Fatalf("clock not advancing: %v -> %v", t1, t2)
+	}
+	if ha.env.Self() != a.Addr() {
+		t.Fatal("Self mismatch")
+	}
+}

@@ -1,0 +1,76 @@
+// Package transport defines the narrow environment interface that all
+// Totoro node logic is written against.
+//
+// The same protocol handlers (DHT routing, pub/sub trees, FL engines) run
+// unchanged on two implementations:
+//
+//   - internal/simnet: a deterministic discrete-event simulator with a
+//     virtual clock, used by the paper-reproduction experiments to model
+//     up to hundreds of thousands of edge nodes in one process; and
+//   - internal/transport/tcpnet: a real TCP transport with length-prefixed
+//     gob frames, used by cmd/totoro-node for live deployments.
+//
+// Handlers must be event-driven: they react to Receive and to timers set
+// with After, and never block.
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Addr identifies a node endpoint. Under the simulator it is an opaque
+// name ("n42"); under TCP it is a host:port string.
+type Addr string
+
+// None is the zero Addr.
+const None Addr = ""
+
+// Env is the environment handed to a protocol node. All node I/O flows
+// through it, which is what makes the protocol logic simulation-ready.
+type Env interface {
+	// Self returns this node's own address.
+	Self() Addr
+	// Now returns the current time. Under simulation this is virtual time
+	// since the start of the run; under TCP it is wall-clock time since
+	// process start.
+	Now() time.Duration
+	// Send transmits msg to the destination. Delivery is asynchronous and,
+	// depending on the network model, may be delayed or dropped.
+	Send(to Addr, msg any)
+	// After schedules fn to run once after d elapses. The returned cancel
+	// function stops the timer if it has not fired yet.
+	After(d time.Duration, fn func()) (cancel func())
+	// Rand returns this node's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// Handler consumes messages delivered to a node.
+type Handler interface {
+	Receive(from Addr, msg any)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Addr, msg any)
+
+// Receive calls f(from, msg).
+func (f HandlerFunc) Receive(from Addr, msg any) { f(from, msg) }
+
+// Sized is implemented by messages that know their wire size in bytes.
+// The simulator uses it for the per-node traffic accounting behind Fig 7;
+// messages that do not implement it are charged DefaultMessageSize.
+type Sized interface {
+	WireSize() int
+}
+
+// DefaultMessageSize is the byte cost charged for control messages that do
+// not implement Sized. It approximates a small header-only datagram.
+const DefaultMessageSize = 64
+
+// SizeOf returns the accounted wire size of msg.
+func SizeOf(msg any) int {
+	if s, ok := msg.(Sized); ok {
+		return s.WireSize()
+	}
+	return DefaultMessageSize
+}

@@ -1,0 +1,38 @@
+package transport
+
+import "testing"
+
+type sized struct{ n int }
+
+func (s sized) WireSize() int { return s.n }
+
+func TestSizeOf(t *testing.T) {
+	if got := SizeOf(sized{n: 123}); got != 123 {
+		t.Fatalf("SizeOf(sized)=%d", got)
+	}
+	if got := SizeOf("plain string"); got != DefaultMessageSize {
+		t.Fatalf("SizeOf(string)=%d want default", got)
+	}
+	if got := SizeOf(nil); got != DefaultMessageSize {
+		t.Fatalf("SizeOf(nil)=%d", got)
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	var gotFrom Addr
+	var gotMsg any
+	h := HandlerFunc(func(from Addr, msg any) {
+		gotFrom, gotMsg = from, msg
+	})
+	h.Receive("peer", 42)
+	if gotFrom != "peer" || gotMsg != 42 {
+		t.Fatalf("HandlerFunc dispatch: %v %v", gotFrom, gotMsg)
+	}
+}
+
+func TestNoneIsZero(t *testing.T) {
+	var a Addr
+	if a != None {
+		t.Fatal("zero Addr is not None")
+	}
+}

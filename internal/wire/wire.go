@@ -1,0 +1,56 @@
+// Package wire registers every Totoro message type with encoding/gob so
+// that the TCP transport can ship the same message values the simulator
+// passes in memory. Call Register once per process before using
+// transport/tcpnet.
+package wire
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"totoro/internal/multiring"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+)
+
+var once sync.Once
+
+// Register installs gob registrations for all overlay, pub/sub, and
+// multiring message types plus the common payload primitives. It is
+// idempotent.
+func Register() {
+	once.Do(func() {
+		// Overlay (Pastry-style ring).
+		gob.Register(ring.Envelope{})
+		gob.Register(ring.HopAck{})
+		gob.Register(ring.JoinRequest{})
+		gob.Register(ring.JoinReply{})
+		gob.Register(ring.NodeJoined{})
+		gob.Register(ring.LeafsetRequest{})
+		gob.Register(ring.LeafsetReply{})
+		gob.Register(ring.Ping{})
+		gob.Register(ring.Pong{})
+		// Forest (pub/sub trees).
+		gob.Register(pubsub.JoinMsg{})
+		gob.Register(pubsub.Welcome{})
+		gob.Register(pubsub.CreateMsg{})
+		gob.Register(pubsub.PublishMsg{})
+		gob.Register(pubsub.Multicast{})
+		gob.Register(pubsub.Upstream{})
+		gob.Register(pubsub.KeepAlive{})
+		gob.Register(pubsub.McNack{})
+		gob.Register(pubsub.LeaveMsg{})
+		// Multi-ring packets.
+		gob.Register(multiring.Packet{})
+		// Common payload primitives carried inside envelopes/multicasts.
+		gob.Register([]float64(nil))
+		gob.Register(map[string]string(nil))
+		gob.Register("")
+		gob.Register(0)
+		gob.Register(0.0)
+	})
+}
+
+// RegisterPayload lets applications add their own payload types (anything
+// carried inside Broadcast or Aggregate objects over TCP).
+func RegisterPayload(v any) { gob.Register(v) }

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"totoro/internal/ids"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+)
+
+func TestRegisterIdempotent(t *testing.T) {
+	Register()
+	Register() // second call must not panic (gob re-registration would)
+}
+
+func TestEnvelopeRoundTripsThroughGob(t *testing.T) {
+	Register()
+	RegisterPayload("")
+	env := ring.Envelope{
+		Key:     ids.Hash("k"),
+		Source:  ring.Contact{ID: ids.Hash("src"), Addr: "10.0.0.1:7"},
+		Hops:    3,
+		Payload: pubsub.JoinMsg{Topic: ids.Hash("t"), Subscriber: ring.Contact{ID: ids.Hash("s"), Addr: "a"}},
+		Seq:     9,
+	}
+	var buf bytes.Buffer
+	var in any = env
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out any
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(ring.Envelope)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if got.Key != env.Key || got.Hops != 3 || got.Seq != 9 {
+		t.Fatalf("envelope fields lost: %+v", got)
+	}
+	jm, ok := got.Payload.(pubsub.JoinMsg)
+	if !ok || jm.Subscriber.Addr != "a" {
+		t.Fatalf("nested payload lost: %#v", got.Payload)
+	}
+}
+
+func TestMulticastPayloadRoundTrip(t *testing.T) {
+	Register()
+	m := pubsub.Multicast{Topic: ids.Hash("x"), Seq: 4, Depth: 2, Object: []float64{1.5, -2.5}}
+	var buf bytes.Buffer
+	var in any = m
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out any
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.(pubsub.Multicast)
+	params := got.Object.([]float64)
+	if len(params) != 2 || params[0] != 1.5 || params[1] != -2.5 {
+		t.Fatalf("float payload lost: %v", params)
+	}
+}

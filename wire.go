@@ -1,0 +1,21 @@
+package totoro
+
+import (
+	"encoding/gob"
+
+	"totoro/internal/wire"
+)
+
+// RegisterWire registers every message type an Engine can put on the wire,
+// enabling deployment over internal/transport/tcpnet. Call once per
+// process before creating TCP-backed engines. Custom Broadcast/Aggregate
+// payload types must additionally be registered with
+// wire.RegisterPayload.
+func RegisterWire() {
+	wire.Register()
+	gob.Register(AppSpec{})
+	gob.Register(announceMsg{})
+	gob.Register(startMsg{})
+	gob.Register(roundStart{})
+	gob.Register(updateAgg{})
+}
