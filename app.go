@@ -68,6 +68,9 @@ type AppSpec struct {
 	// instead of stalling it (§2.2.1's communication-protocol
 	// customization). Zero keeps rounds fully synchronous.
 	RoundDeadline time.Duration
+	// Seed roots every worker's deterministic per-round training rng (see
+	// package doc: derived as (Seed, round, node address)).
+	Seed int64
 }
 
 // SpecFromWorkload converts a workload.App (the experiment harness
@@ -92,6 +95,7 @@ func SpecFromWorkload(id AppID, app *workload.App) AppSpec {
 		MaxRounds:      app.MaxRounds,
 		Compressor:     comp,
 		TopK:           topk,
+		Seed:           app.Seed,
 	}
 }
 
@@ -142,6 +146,8 @@ type roundStart struct {
 	Compressor    string
 	TopK          int
 	NoiseSigma    float64
+	// Seed roots the deterministic per-client rng derivation for the round.
+	Seed int64
 }
 
 func (r roundStart) WireSize() int { return 64 + 4*len(r.Sizes) + 8*len(r.Params) }
@@ -165,18 +171,27 @@ func mergeUpdates(a, b any) any {
 		// Mixed payloads (user objects): keep the latest.
 		return b
 	}
-	merged := fl.Merge(ua.Acc, ub.Acc)
+	// The combiner owns its left operand (pub/sub hands partial aggregates
+	// over by reference and the sender never touches them again), so the
+	// merge reuses ua's buffer instead of allocating O(P) per hop.
+	merged := fl.MergeInPlace(ua.Acc, ub.Acc)
 	return updateAgg{Acc: merged, Bytes: 24 + 8*len(merged.WeightedSum)}
 }
 
 // GaussianNoise perturbs a copy of delta with N(0, sigma²) noise — the
 // worker-side differential-privacy mechanism (§4.4).
 func GaussianNoise(delta []float64, sigma float64, rng *rand.Rand) []float64 {
-	out := make([]float64, len(delta))
-	for i, v := range delta {
-		out[i] = v + rng.NormFloat64()*sigma
-	}
+	out := append([]float64(nil), delta...)
+	addGaussianNoise(out, sigma, rng)
 	return out
+}
+
+// addGaussianNoise is GaussianNoise applied in place, for hot paths that
+// own the delta buffer.
+func addGaussianNoise(delta []float64, sigma float64, rng *rand.Rand) {
+	for i := range delta {
+		delta[i] += rng.NormFloat64() * sigma
+	}
 }
 
 // participates decides deterministically whether a worker trains in a

@@ -140,9 +140,10 @@ func TestMergeUpdatesAssociativeOnPayloads(t *testing.T) {
 	u := func(v float64, samples int) updateAgg {
 		return updateAgg{Acc: fl.NewAccum(fl.Update{Delta: []float64{v}, Samples: samples}), Bytes: 32}
 	}
-	a, b, c := u(1, 10), u(2, 20), u(3, 30)
-	left := mergeUpdates(mergeUpdates(a, b), c).(updateAgg)
-	right := mergeUpdates(a, mergeUpdates(b, c)).(updateAgg)
+	// mergeUpdates owns its left operand (the combiner contract), so each
+	// association tree gets freshly built operands.
+	left := mergeUpdates(mergeUpdates(u(1, 10), u(2, 20)), u(3, 30)).(updateAgg)
+	right := mergeUpdates(u(1, 10), mergeUpdates(u(2, 20), u(3, 30))).(updateAgg)
 	if math.Abs(left.Acc.WeightedSum[0]-right.Acc.WeightedSum[0]) > 1e-12 {
 		t.Fatal("mergeUpdates not associative")
 	}

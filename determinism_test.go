@@ -1,0 +1,63 @@
+package totoro
+
+import (
+	"testing"
+
+	"totoro/internal/baseline"
+	"totoro/internal/workload"
+)
+
+// trainOnce runs one app to completion on a fresh cluster and returns the
+// master's final global parameters.
+func trainOnce(t *testing.T, seed int64) []float64 {
+	t.Helper()
+	c := testCluster(50, seed)
+	app := testApps(1, seed)[0]
+	app.MaxRounds = 3
+	app.TargetAccuracy = 0.999
+	id := c.DeployOnRandomNodes(app)
+	c.Train(id)
+	params, ok := c.Master(id).GlobalParams(id)
+	if !ok || len(params) == 0 {
+		t.Fatal("no global params after training")
+	}
+	return params
+}
+
+// TestEngineRunsAreBitIdentical proves the decentralized engine is
+// deterministic even though client training runs on a real worker pool:
+// two identical deployments produce bit-identical global models. Under
+// -race this is also the engine-level exercise of the training pool.
+func TestEngineRunsAreBitIdentical(t *testing.T) {
+	a := trainOnce(t, 61)
+	b := trainOnce(t, 61)
+	if len(a) != len(b) {
+		t.Fatalf("param count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBaselineRunsAreBitIdentical does the same for the centralized
+// baseline engine, whose clients also train on the pool.
+func TestBaselineRunsAreBitIdentical(t *testing.T) {
+	run := func() []workload.AccuracyPoint {
+		apps := testApps(1, 62)
+		apps[0].MaxRounds = 3
+		apps[0].TargetAccuracy = 0.999
+		e := baseline.New(apps, baseline.Config{Profile: baseline.OpenFL(), ClientNodes: 20, Seed: 62})
+		return e.Run()[0].Points
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("point counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d diverged: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+}

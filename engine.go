@@ -324,6 +324,7 @@ func (e *Engine) beginRound(m *masterState) {
 		Compressor:    m.spec.Compressor,
 		TopK:          m.spec.TopK,
 		NoiseSigma:    m.spec.NoiseSigma,
+		Seed:          m.spec.Seed,
 	})
 }
 
@@ -381,19 +382,37 @@ func (e *Engine) handleRoundStart(app ids.ID, rs roundStart, subscriber bool) {
 	dur := e.opts.Cost.Time(rs.Cfg.LocalEpochs, w.shard.Len(), w.proto.NumParams(), e.opts.Speed)
 	now := e.env.Now()
 	finish := e.queue.Start(now, dur)
-	e.env.After(finish-now, func() {
-		u := fl.LocalTrain(w.proto, rs.Params, w.shard, rs.Cfg, e.env.Rand())
+	// Training inputs are fully determined here, so hand the pure job to
+	// the real worker pool now and collect the result when the simulated
+	// compute time elapses: clients across the ring train concurrently on
+	// real CPUs while virtual time is unaffected. All randomness comes from
+	// an rng derived from (app seed, round, node address), never from the
+	// shared simulator stream, so the outcome is independent of pool
+	// scheduling.
+	proto, shard, params := w.proto, w.shard, rs.Params
+	tag := fl.ClientTag(string(e.Self().Addr))
+	var agg updateAgg
+	fut := fl.Go(func(ws *ml.Workspace) {
+		crng := fl.DeriveRNG(rs.Seed, rs.Round, tag)
+		u := fl.LocalTrainWS(proto, params, shard, rs.Cfg, crng, ws)
 		if u.Samples == 0 {
-			e.ps.SubmitUpdate(app, rs.Round, nil)
 			return
 		}
 		if rs.NoiseSigma > 0 {
-			u.Delta = GaussianNoise(u.Delta, rs.NoiseSigma, e.env.Rand())
+			addGaussianNoise(u.Delta, rs.NoiseSigma, crng)
 		}
 		spec := AppSpec{Compressor: rs.Compressor, TopK: rs.TopK}
 		recon, bytes := spec.compressor().Apply(u.Delta)
 		u.Delta = recon
-		e.ps.SubmitUpdate(app, rs.Round, updateAgg{Acc: fl.NewAccum(u), Bytes: bytes})
+		agg = updateAgg{Acc: fl.NewAccumOwning(u), Bytes: bytes}
+	})
+	e.env.After(finish-now, func() {
+		fut.Wait()
+		if agg.Acc == nil {
+			e.ps.SubmitUpdate(app, rs.Round, nil)
+			return
+		}
+		e.ps.SubmitUpdate(app, rs.Round, agg)
 	})
 }
 

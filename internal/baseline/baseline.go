@@ -229,14 +229,26 @@ func (e *Engine) clientRecv(node int, msg any) {
 	env := e.clientEnv[node]
 	finish := e.clientQueue[node].Start(env.Now(), dur)
 	params := m.Params
-	env.After(finish-env.Now(), func() {
-		u := fl.LocalTrain(st.app.Proto, params, shard, st.app.Cfg, env.Rand())
+	// The training inputs are fully known now, so submit the (pure) job to
+	// the real worker pool immediately and only wait for it when the
+	// simulated compute time has elapsed: wall-clock training overlaps
+	// across clients without perturbing virtual time. The client's rng is
+	// derived from (app seed, round, client), so results are independent of
+	// pool scheduling.
+	var up updateUp
+	fut := fl.Go(func(ws *ml.Workspace) {
+		crng := fl.DeriveRNG(st.app.Seed, m.Round, uint64(client))
+		u := fl.LocalTrainWS(st.app.Proto, params, shard, st.app.Cfg, crng, ws)
 		if u.Samples == 0 {
 			u = fl.Update{Delta: make([]float64, len(params)), Samples: 1}
 		}
 		recon, bytes := st.app.Comp.Apply(u.Delta)
 		u.Delta = recon
-		env.Send("server", updateUp{App: m.App, Round: m.Round, Client: client, Acc: fl.NewAccum(u), Bytes: bytes})
+		up = updateUp{App: m.App, Round: m.Round, Client: client, Acc: fl.NewAccumOwning(u), Bytes: bytes}
+	})
+	env.After(finish-env.Now(), func() {
+		fut.Wait()
+		env.Send("server", up)
 	})
 }
 
@@ -249,7 +261,7 @@ func (e *Engine) serverRecv(from transport.Addr, msg any) {
 	if st.done || u.Round != st.round {
 		return
 	}
-	st.pending = fl.Merge(st.pending, u.Acc)
+	st.pending = fl.MergeInPlace(st.pending, u.Acc)
 	st.received++
 	if st.received < len(st.selected) {
 		return

@@ -1,0 +1,78 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"totoro/internal/ml"
+)
+
+// BenchmarkLocalTrain measures one client's full local update (model
+// restore, epoch of SGD, delta extraction) on the Table 3 FEMNIST shape,
+// running the hot path: a reused per-worker workspace, as the training
+// pool does.
+func BenchmarkLocalTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	proto := ml.NewMLP([]int{64, 48, 62}, rng)
+	global := proto.Params()
+	data := ml.FEMNISTLike(50, rng)
+	cfg := ClientConfig{LocalEpochs: 1, BatchSize: 20, LR: 0.1, Momentum: 0.5}
+	ws := ml.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalTrainWS(proto, global, data, cfg, rng, ws)
+	}
+}
+
+// BenchmarkLocalTrainLegacy is the pre-workspace entry point (fresh
+// buffers every call) kept for before/after comparison.
+func BenchmarkLocalTrainLegacy(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	proto := ml.NewMLP([]int{64, 48, 62}, rng)
+	global := proto.Params()
+	data := ml.FEMNISTLike(50, rng)
+	cfg := ClientConfig{LocalEpochs: 1, BatchSize: 20, LR: 0.1, Momentum: 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalTrain(proto, global, data, cfg, rng)
+	}
+}
+
+// BenchmarkAccumMerge measures folding one client update into a running
+// partial aggregate with the in-place hot path every interior tree node
+// runs per child.
+func BenchmarkAccumMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	dim := 64*48 + 48 + 48*62 + 62
+	delta := make([]float64, dim)
+	for i := range delta {
+		delta[i] = rng.NormFloat64()
+	}
+	agg := NewAccum(Update{Delta: delta, Samples: 50})
+	leaf := NewAccum(Update{Delta: delta, Samples: 50})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Add(leaf)
+	}
+}
+
+// BenchmarkAccumMergeLegacy is the pure (allocating) merge kept for
+// before/after comparison.
+func BenchmarkAccumMergeLegacy(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	dim := 64*48 + 48 + 48*62 + 62
+	delta := make([]float64, dim)
+	for i := range delta {
+		delta[i] = rng.NormFloat64()
+	}
+	agg := NewAccum(Update{Delta: delta, Samples: 50})
+	leaf := NewAccum(Update{Delta: delta, Samples: 50})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg = Merge(agg, leaf)
+	}
+}

@@ -21,9 +21,11 @@ type NoCompression struct{}
 // Name implements Compressor.
 func (NoCompression) Name() string { return "none" }
 
-// Apply implements Compressor.
+// Apply implements Compressor. The identity reconstruction returns v
+// itself — callers treat the result as owned either way, so the dense
+// path skips an O(P) copy per client per round.
 func (NoCompression) Apply(v []float64) ([]float64, int) {
-	return append([]float64(nil), v...), 8 * len(v)
+	return v, 8 * len(v)
 }
 
 // TopK keeps only the K largest-magnitude coordinates (sparsification);

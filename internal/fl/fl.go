@@ -1,9 +1,3 @@
-// Package fl implements the federated-learning algorithms Totoro runs on
-// top of its forest abstraction: weighted FedAvg and FedProx aggregation,
-// client-side local training, participant selection policies, and gradient
-// compression. The pieces are pure functions over flat parameter vectors so
-// that the same logic runs inside the decentralized Totoro engine, the
-// centralized baselines, and the unit tests.
 package fl
 
 import (
@@ -40,7 +34,20 @@ func NewAccum(u Update) *Accum {
 	return &Accum{WeightedSum: ws, Samples: u.Samples, Count: 1}
 }
 
-// Merge folds two partial aggregates (either may be nil).
+// NewAccumOwning starts an aggregate from an update whose delta buffer the
+// caller hands over: the weighting is applied in place and the Update must
+// not be used afterwards. This is the hot-path form of NewAccum.
+func NewAccumOwning(u Update) *Accum {
+	w := float64(u.Samples)
+	for i := range u.Delta {
+		u.Delta[i] *= w
+	}
+	return &Accum{WeightedSum: u.Delta, Samples: u.Samples, Count: 1}
+}
+
+// Merge folds two partial aggregates (either may be nil) into a freshly
+// allocated result. It never mutates its arguments; aggregation hot paths
+// that own their left operand use MergeInPlace instead.
 func Merge(a, b *Accum) *Accum {
 	if a == nil {
 		return b
@@ -48,19 +55,43 @@ func Merge(a, b *Accum) *Accum {
 	if b == nil {
 		return a
 	}
+	out := &Accum{
+		WeightedSum: make([]float64, len(a.WeightedSum)),
+		Samples:     a.Samples,
+		Count:       a.Count,
+	}
+	copy(out.WeightedSum, a.WeightedSum)
+	out.Add(b)
+	return out
+}
+
+// Add folds b into a in place (b is read, never retained). The O(P)
+// buffer is reused, so interior aggregation nodes merging many children
+// do not allocate per merge.
+func (a *Accum) Add(b *Accum) {
 	if len(a.WeightedSum) != len(b.WeightedSum) {
 		panic(fmt.Sprintf("fl: merging aggregates of different sizes %d vs %d",
 			len(a.WeightedSum), len(b.WeightedSum)))
 	}
-	out := &Accum{
-		WeightedSum: make([]float64, len(a.WeightedSum)),
-		Samples:     a.Samples + b.Samples,
-		Count:       a.Count + b.Count,
+	ws, bs := a.WeightedSum, b.WeightedSum
+	for i := range ws {
+		ws[i] += bs[i]
 	}
-	for i := range out.WeightedSum {
-		out.WeightedSum[i] = a.WeightedSum[i] + b.WeightedSum[i]
+	a.Samples += b.Samples
+	a.Count += b.Count
+}
+
+// MergeInPlace folds b into a, reusing a's buffer when possible (either
+// side may be nil). The caller must own a; b is only read.
+func MergeInPlace(a, b *Accum) *Accum {
+	if a == nil {
+		return b
 	}
-	return out
+	if b == nil {
+		return a
+	}
+	a.Add(b)
+	return a
 }
 
 // MeanDelta resolves the FedAvg weighted-average delta. Nil if empty.
@@ -109,26 +140,32 @@ func (c ClientConfig) withDefaults() ClientConfig {
 
 // LocalTrain runs one client's local update starting from the global
 // parameters and returns the resulting delta. proto supplies the model
-// architecture (it is cloned, never mutated).
+// architecture (it is cloned, never mutated). It is a thin wrapper over
+// LocalTrainWS with a throwaway workspace.
 func LocalTrain(proto *ml.MLP, global []float64, data *ml.Dataset, cfg ClientConfig, rng *rand.Rand) Update {
+	return LocalTrainWS(proto, global, data, cfg, rng, ml.NewWorkspace())
+}
+
+// LocalTrainWS is LocalTrain with all scratch state — the working model,
+// optimizer, gradients, and activation buffers — drawn from a reusable
+// per-worker workspace. The only allocation per call is the returned
+// delta vector, which the caller keeps.
+func LocalTrainWS(proto *ml.MLP, global []float64, data *ml.Dataset, cfg ClientConfig, rng *rand.Rand, ws *ml.Workspace) Update {
 	cfg = cfg.withDefaults()
 	if data.Len() == 0 {
 		return Update{}
 	}
-	m := proto.Clone()
+	m := ws.Model(proto.Sizes)
 	m.SetParams(global)
-	opt := &ml.SGD{LR: cfg.LR, Momentum: cfg.Momentum}
+	opt := ws.Optimizer(cfg.LR, cfg.Momentum)
 	var anchor []float64
 	if cfg.ProxMu > 0 {
 		anchor = global
 	}
 	for e := 0; e < cfg.LocalEpochs; e++ {
-		ml.TrainEpoch(m, data, cfg.BatchSize, opt, cfg.ProxMu, anchor, rng)
+		ml.TrainEpochWS(m, data, cfg.BatchSize, opt, cfg.ProxMu, anchor, rng, ws)
 	}
-	after := m.Params()
-	delta := make([]float64, len(after))
-	for i := range delta {
-		delta[i] = after[i] - global[i]
-	}
+	delta := make([]float64, len(global))
+	m.DeltaInto(global, delta)
 	return Update{Delta: delta, Samples: data.Len()}
 }

@@ -1,0 +1,106 @@
+package fl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"totoro/internal/ml"
+)
+
+// Training pool: a process-wide bounded set of worker slots that fans
+// client training across real CPUs. Jobs must be pure functions of their
+// captured inputs plus the workspace they are handed — determinism then
+// holds regardless of scheduling, and callers impose a deterministic
+// result order themselves (e.g. merging updates in client order).
+
+// Workers returns the pool's parallelism: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+var (
+	poolSlots chan struct{}
+	poolOnce  sync.Once
+	wsPool    = sync.Pool{New: func() any { return ml.NewWorkspace() }}
+)
+
+func slots() chan struct{} {
+	poolOnce.Do(func() {
+		n := Workers()
+		if n < 1 {
+			n = 1
+		}
+		poolSlots = make(chan struct{}, n)
+		for i := 0; i < n; i++ {
+			poolSlots <- struct{}{}
+		}
+	})
+	return poolSlots
+}
+
+// Future is a handle to a job submitted with Go.
+type Future struct {
+	done chan struct{}
+}
+
+// Wait blocks until the job has finished. The channel close gives the
+// caller a happens-before edge on everything the job wrote.
+func (f *Future) Wait() { <-f.done }
+
+// Go runs job on a pool slot with a recycled per-worker workspace. Submit
+// the job at the moment its inputs are known and Wait at the point the
+// result is needed; the simulators use this to overlap client training
+// with (virtual) time.
+func Go(job func(ws *ml.Workspace)) *Future {
+	f := &Future{done: make(chan struct{})}
+	s := slots()
+	go func() {
+		<-s
+		ws := wsPool.Get().(*ml.Workspace)
+		job(ws)
+		wsPool.Put(ws)
+		s <- struct{}{}
+		close(f.done)
+	}()
+	return f
+}
+
+// ForEach runs job(i, ws) for every i in [0, n) across the pool and
+// returns when all are done. workers <= 0 means Workers(); workers == 1
+// runs inline on the caller's goroutine (the serial reference path).
+func ForEach(n, workers int, job func(i int, ws *ml.Workspace)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		ws := wsPool.Get().(*ml.Workspace)
+		for i := 0; i < n; i++ {
+			job(i, ws)
+		}
+		wsPool.Put(ws)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ws := wsPool.Get().(*ml.Workspace)
+			defer wsPool.Put(ws)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i, ws)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+package fl
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Deterministic per-client randomness.
+//
+// A single shared *rand.Rand consumed by many clients makes each client's
+// random stream depend on how many draws every other client made before it
+// — so reordering clients (or training them concurrently) changes every
+// stream. Instead, each client derives a private rng from (seed, round,
+// client tag) with a splitmix64-style mixer: the stream depends only on
+// those three values, so serial and parallel execution, and any client
+// visit order, produce identical local training.
+
+// DeriveSeed mixes an application seed, a round number, and a client tag
+// into an independent 63-bit stream seed (splitmix64 finalizer over the
+// three words).
+func DeriveSeed(seed int64, round int, tag uint64) int64 {
+	z := uint64(seed)
+	z = mix64(z + 0x9e3779b97f4a7c15)
+	z = mix64(z + uint64(round)*0xbf58476d1ce4e5b9)
+	z = mix64(z + tag*0x94d049bb133111eb)
+	return int64(z >> 1) // non-negative, as rand.NewSource expects
+}
+
+// DeriveRNG returns a private rng for one client in one round.
+func DeriveRNG(seed int64, round int, tag uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(seed, round, tag)))
+}
+
+// ClientTag maps a stable client identifier (e.g. a node address) to a
+// derivation tag via FNV-1a.
+func ClientTag(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -19,9 +19,16 @@ type Session struct {
 	Cfg     ClientConfig
 	Sel     Selector
 	Comp    Compressor
+	// Workers bounds the parallelism of client training within a round:
+	// 0 means one worker per CPU, 1 forces the serial reference path.
+	// Serial and parallel execution produce bit-identical models — each
+	// client trains on a private rng derived from the round seed and its
+	// ID, and updates are merged in selection order.
+	Workers int
 
 	infos []ClientInfo
 	round int
+	eval  *ml.MLP
 }
 
 // NewSession initializes a session; proto supplies both architecture and
@@ -57,23 +64,33 @@ type RoundStats struct {
 }
 
 // Round executes one synchronous FL round with perRound participants and
-// returns its stats.
+// returns its stats. Client training fans out across the training pool;
+// every client draws from a private rng derived from this round's seed and
+// its ID, and updates are merged in selection order, so the result is
+// bit-identical at any worker count.
 func (s *Session) Round(perRound int, rng *rand.Rand) RoundStats {
 	s.round++
 	selected := s.Sel.Select(perRound, s.infos, rng)
+	roundSeed := rng.Int63()
+	updates := make([]Update, len(selected))
+	ForEach(len(selected), s.Workers, func(i int, ws *ml.Workspace) {
+		id := selected[i]
+		crng := DeriveRNG(roundSeed, s.round, uint64(id))
+		updates[i] = LocalTrainWS(s.Proto, s.Global, s.Clients[id], s.Cfg, crng, ws)
+	})
 	var agg *Accum
 	updateBytes := 0
-	for _, id := range selected {
-		u := LocalTrain(s.Proto, s.Global, s.Clients[id], s.Cfg, rng)
+	for i, id := range selected {
+		u := updates[i]
 		if u.Samples == 0 {
 			continue
 		}
 		recon, bytes := s.Comp.Apply(u.Delta)
 		u.Delta = recon
 		updateBytes = bytes
-		agg = Merge(agg, NewAccum(u))
 		s.infos[id].Rounds++
 		s.infos[id].LastLoss = lossProxy(u)
+		agg = MergeInPlace(agg, NewAccumOwning(u))
 	}
 	if d := agg.MeanDelta(); d != nil {
 		ApplyDelta(s.Global, d)
@@ -88,9 +105,11 @@ func (s *Session) Round(perRound int, rng *rand.Rand) RoundStats {
 
 // Accuracy evaluates the current global model on the held-out test set.
 func (s *Session) Accuracy() float64 {
-	m := s.Proto.Clone()
-	m.SetParams(s.Global)
-	return m.Accuracy(s.Test)
+	if s.eval == nil {
+		s.eval = s.Proto.Clone()
+	}
+	s.eval.SetParams(s.Global)
+	return s.eval.Accuracy(s.Test)
 }
 
 // lossProxy scores an update's magnitude as a cheap stand-in for client

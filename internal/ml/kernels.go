@@ -1,0 +1,107 @@
+package ml
+
+// Kernels for the training hot path. Each public kernel dispatches to an
+// AVX2+FMA assembly implementation on amd64 CPUs that support it (see
+// kernels_amd64.s) and otherwise to the portable scalar form below. The
+// scalar forms unroll with independent accumulators so the CPU can overlap
+// floating-point latencies; Go does not auto-vectorize, so on the fallback
+// path instruction-level parallelism is where the throughput comes from.
+//
+// The N-row variants operate on groups of adjacent matrix rows (x is the
+// first row, subsequent rows start at multiples of stride) so one pass
+// over y amortizes its load/store traffic across 4 or 8 input rows — the
+// difference between the memory-bound per-example backprop and the
+// compute-bound batched form.
+
+// axpy computes y[j] += a*x[j] over the common length of x and y.
+func axpy(a float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	if hasSIMD && n >= 4 {
+		axpyAVX(a, &x[0], &y[0], n)
+		return
+	}
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		y[j] += a * x[j]
+		y[j+1] += a * x[j+1]
+		y[j+2] += a * x[j+2]
+		y[j+3] += a * x[j+3]
+	}
+	for ; j < n; j++ {
+		y[j] += a * x[j]
+	}
+}
+
+// axpyN4 computes y[j] += Σ_t c[t]*x[t*stride+j]: four fused axpys over
+// adjacent rows that load and store each y element once instead of four
+// times.
+func axpyN4(c *[4]float64, x []float64, stride int, y []float64) {
+	n := len(y)
+	_ = x[3*stride+n-1]
+	if hasSIMD && n >= 4 {
+		axpy4AVX(&c[0], &x[0], stride, &y[0], n)
+		return
+	}
+	x0, x1 := x[:n], x[stride:stride+n]
+	x2, x3 := x[2*stride:2*stride+n], x[3*stride:3*stride+n]
+	for j := 0; j < n; j++ {
+		y[j] += c[0]*x0[j] + c[1]*x1[j] + c[2]*x2[j] + c[3]*x3[j]
+	}
+}
+
+// axpyN8 computes y[j] += Σ_t c[t]*x[t*stride+j] over eight adjacent rows.
+func axpyN8(c *[8]float64, x []float64, stride int, y []float64) {
+	n := len(y)
+	_ = x[7*stride+n-1]
+	if hasSIMD && n >= 4 {
+		axpy8AVX(&c[0], &x[0], stride, &y[0], n)
+		return
+	}
+	var c0, c1 [4]float64
+	copy(c0[:], c[:4])
+	copy(c1[:], c[4:])
+	axpyN4(&c0, x, stride, y)
+	axpyN4(&c1, x[4*stride:], stride, y)
+}
+
+// dotN4 computes dst[t] = Σ_j w[t*stride+j]*d[j] for t in 0..3: four dot
+// products of d against adjacent rows of w, sharing one pass over d.
+func dotN4(d []float64, w []float64, stride int, dst []float64) {
+	n := len(d)
+	_ = w[3*stride+n-1]
+	_ = dst[3]
+	if hasSIMD && n >= 4 {
+		dot4AVX(&d[0], &w[0], stride, &dst[0], n)
+		return
+	}
+	w0, w1 := w[:n], w[stride:stride+n]
+	w2, w3 := w[2*stride:2*stride+n], w[3*stride:3*stride+n]
+	var s0, s1, s2, s3 float64
+	for j := 0; j < n; j++ {
+		dj := d[j]
+		s0 += w0[j] * dj
+		s1 += w1[j] * dj
+		s2 += w2[j] * dj
+		s3 += w3[j] * dj
+	}
+	dst[0], dst[1], dst[2], dst[3] = s0, s1, s2, s3
+}
+
+// dot computes the inner product of x and y.
+func dot(x, y []float64) float64 {
+	n := len(x)
+	y = y[:n]
+	var s0, s1, s2, s3 float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		s0 += x[j] * y[j]
+		s1 += x[j+1] * y[j+1]
+		s2 += x[j+2] * y[j+2]
+		s3 += x[j+3] * y[j+3]
+	}
+	for ; j < n; j++ {
+		s0 += x[j] * y[j]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

@@ -1,0 +1,348 @@
+// AVX2+FMA kernels for the training hot path. Every routine keeps enough
+// independent accumulator chains in flight to cover the 4-5 cycle FMA
+// latency; the N-row variants hold all row coefficients broadcast in YMM
+// registers so the inner loop is pure load+FMA.
+
+#include "textflag.h"
+
+// func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpyAVX(a float64, x, y *float64, n int)
+// y[j] += a*x[j] for j in [0, n)
+TEXT ·axpyAVX(SB), NOSPLIT, $0-32
+	VBROADCASTSD a+0(FP), Y0
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+
+axpy_loop16:
+	CMPQ AX, DX
+	JGE  axpy_tail4setup
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD 32(DI)(AX*8), Y2
+	VMOVUPD 64(DI)(AX*8), Y3
+	VMOVUPD 96(DI)(AX*8), Y4
+	VFMADD231PD (SI)(AX*8), Y0, Y1
+	VFMADD231PD 32(SI)(AX*8), Y0, Y2
+	VFMADD231PD 64(SI)(AX*8), Y0, Y3
+	VFMADD231PD 96(SI)(AX*8), Y0, Y4
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	VMOVUPD Y3, 64(DI)(AX*8)
+	VMOVUPD Y4, 96(DI)(AX*8)
+	ADDQ $16, AX
+	JMP  axpy_loop16
+
+axpy_tail4setup:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+axpy_tail4:
+	CMPQ AX, DX
+	JGE  axpy_tail1
+	VMOVUPD (DI)(AX*8), Y1
+	VFMADD231PD (SI)(AX*8), Y0, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  axpy_tail4
+
+axpy_tail1:
+	CMPQ AX, CX
+	JGE  axpy_done
+	VMOVSD (DI)(AX*8), X1
+	VFMADD231SD (SI)(AX*8), X0, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  axpy_tail1
+
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func axpy4AVX(c, x *float64, stride int, y *float64, n int)
+// y[j] += sum_t c[t]*x[t*stride+j] for t in 0..3, j in [0, n)
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), BX
+	VBROADCASTSD (BX), Y0
+	VBROADCASTSD 8(BX), Y1
+	VBROADCASTSD 16(BX), Y2
+	VBROADCASTSD 24(BX), Y3
+	MOVQ x+8(FP), SI
+	MOVQ stride+16(FP), BX
+	SHLQ $3, BX
+	LEAQ (SI)(BX*1), R8
+	LEAQ (R8)(BX*1), R9
+	LEAQ (R9)(BX*1), R10
+	MOVQ y+24(FP), DI
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+a4_loop8:
+	CMPQ AX, DX
+	JGE  a4_tail4setup
+
+	// two y vectors, each with an acc chain and a mul chain
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y6
+	VFMADD231PD (SI)(AX*8), Y0, Y4
+	VMULPD (R8)(AX*8), Y1, Y5
+	VFMADD231PD 32(SI)(AX*8), Y0, Y6
+	VMULPD 32(R8)(AX*8), Y1, Y7
+	VFMADD231PD (R9)(AX*8), Y2, Y4
+	VFMADD231PD (R10)(AX*8), Y3, Y5
+	VFMADD231PD 32(R9)(AX*8), Y2, Y6
+	VFMADD231PD 32(R10)(AX*8), Y3, Y7
+	VADDPD Y5, Y4, Y4
+	VADDPD Y7, Y6, Y6
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y6, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  a4_loop8
+
+a4_tail4setup:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+a4_tail4:
+	CMPQ AX, DX
+	JGE  a4_tail1
+	VMOVUPD (DI)(AX*8), Y4
+	VFMADD231PD (SI)(AX*8), Y0, Y4
+	VMULPD (R8)(AX*8), Y1, Y5
+	VFMADD231PD (R9)(AX*8), Y2, Y4
+	VFMADD231PD (R10)(AX*8), Y3, Y5
+	VADDPD Y5, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  a4_tail4
+
+a4_tail1:
+	CMPQ AX, CX
+	JGE  a4_done
+	VMOVSD (DI)(AX*8), X4
+	VFMADD231SD (SI)(AX*8), X0, X4
+	VFMADD231SD (R8)(AX*8), X1, X4
+	VFMADD231SD (R9)(AX*8), X2, X4
+	VFMADD231SD (R10)(AX*8), X3, X4
+	VMOVSD X4, (DI)(AX*8)
+	INCQ AX
+	JMP  a4_tail1
+
+a4_done:
+	VZEROUPPER
+	RET
+
+// func axpy8AVX(c, x *float64, stride int, y *float64, n int)
+// y[j] += sum_t c[t]*x[t*stride+j] for t in 0..7, j in [0, n)
+TEXT ·axpy8AVX(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), BX
+	VBROADCASTSD (BX), Y0
+	VBROADCASTSD 8(BX), Y1
+	VBROADCASTSD 16(BX), Y2
+	VBROADCASTSD 24(BX), Y3
+	VBROADCASTSD 32(BX), Y4
+	VBROADCASTSD 40(BX), Y5
+	VBROADCASTSD 48(BX), Y6
+	VBROADCASTSD 56(BX), Y7
+	MOVQ x+8(FP), SI
+	MOVQ stride+16(FP), BX
+	SHLQ $3, BX
+	LEAQ (SI)(BX*1), R8
+	LEAQ (R8)(BX*1), R9
+	LEAQ (R9)(BX*1), R10
+	LEAQ (R10)(BX*1), R11
+	LEAQ (R11)(BX*1), R12
+	LEAQ (R12)(BX*1), R13
+	LEAQ (R13)(BX*1), R14
+	MOVQ y+24(FP), DI
+	MOVQ n+32(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+a8_loop8:
+	CMPQ AX, DX
+	JGE  a8_tail4setup
+
+	// two y vectors; per vector an FMA chain (Y8/Y10) and a second
+	// chain started with a multiply (Y9/Y11) so latency overlaps
+	VMOVUPD (DI)(AX*8), Y8
+	VMOVUPD 32(DI)(AX*8), Y10
+	VFMADD231PD (SI)(AX*8), Y0, Y8
+	VMULPD (R8)(AX*8), Y1, Y9
+	VFMADD231PD 32(SI)(AX*8), Y0, Y10
+	VMULPD 32(R8)(AX*8), Y1, Y11
+	VFMADD231PD (R9)(AX*8), Y2, Y8
+	VFMADD231PD (R10)(AX*8), Y3, Y9
+	VFMADD231PD 32(R9)(AX*8), Y2, Y10
+	VFMADD231PD 32(R10)(AX*8), Y3, Y11
+	VFMADD231PD (R11)(AX*8), Y4, Y8
+	VFMADD231PD (R12)(AX*8), Y5, Y9
+	VFMADD231PD 32(R11)(AX*8), Y4, Y10
+	VFMADD231PD 32(R12)(AX*8), Y5, Y11
+	VFMADD231PD (R13)(AX*8), Y6, Y8
+	VFMADD231PD (R14)(AX*8), Y7, Y9
+	VFMADD231PD 32(R13)(AX*8), Y6, Y10
+	VFMADD231PD 32(R14)(AX*8), Y7, Y11
+	VADDPD Y9, Y8, Y8
+	VADDPD Y11, Y10, Y10
+	VMOVUPD Y8, (DI)(AX*8)
+	VMOVUPD Y10, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  a8_loop8
+
+a8_tail4setup:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+a8_tail4:
+	CMPQ AX, DX
+	JGE  a8_tail1
+	VMOVUPD (DI)(AX*8), Y8
+	VFMADD231PD (SI)(AX*8), Y0, Y8
+	VMULPD (R8)(AX*8), Y1, Y9
+	VFMADD231PD (R9)(AX*8), Y2, Y8
+	VFMADD231PD (R10)(AX*8), Y3, Y9
+	VFMADD231PD (R11)(AX*8), Y4, Y8
+	VFMADD231PD (R12)(AX*8), Y5, Y9
+	VFMADD231PD (R13)(AX*8), Y6, Y8
+	VFMADD231PD (R14)(AX*8), Y7, Y9
+	VADDPD Y9, Y8, Y8
+	VMOVUPD Y8, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  a8_tail4
+
+a8_tail1:
+	CMPQ AX, CX
+	JGE  a8_done
+	VMOVSD (DI)(AX*8), X8
+	VFMADD231SD (SI)(AX*8), X0, X8
+	VFMADD231SD (R8)(AX*8), X1, X8
+	VFMADD231SD (R9)(AX*8), X2, X8
+	VFMADD231SD (R10)(AX*8), X3, X8
+	VFMADD231SD (R11)(AX*8), X4, X8
+	VFMADD231SD (R12)(AX*8), X5, X8
+	VFMADD231SD (R13)(AX*8), X6, X8
+	VFMADD231SD (R14)(AX*8), X7, X8
+	VMOVSD X8, (DI)(AX*8)
+	INCQ AX
+	JMP  a8_tail1
+
+a8_done:
+	VZEROUPPER
+	RET
+
+// func dot4AVX(d, w *float64, stride int, dst *float64, n int)
+// dst[t] = sum_j w[t*stride+j]*d[j] for t in 0..3
+TEXT ·dot4AVX(SB), NOSPLIT, $0-40
+	MOVQ d+0(FP), SI
+	MOVQ w+8(FP), DI
+	MOVQ stride+16(FP), BX
+	SHLQ $3, BX
+	LEAQ (DI)(BX*1), R8
+	LEAQ (R8)(BX*1), R9
+	LEAQ (R9)(BX*1), R10
+	MOVQ dst+24(FP), R11
+	MOVQ n+32(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+d4_loop8:
+	CMPQ AX, DX
+	JGE  d4_tail4setup
+	VMOVUPD (SI)(AX*8), Y8
+	VMOVUPD 32(SI)(AX*8), Y9
+	VFMADD231PD (DI)(AX*8), Y8, Y0
+	VFMADD231PD 32(DI)(AX*8), Y9, Y4
+	VFMADD231PD (R8)(AX*8), Y8, Y1
+	VFMADD231PD 32(R8)(AX*8), Y9, Y5
+	VFMADD231PD (R9)(AX*8), Y8, Y2
+	VFMADD231PD 32(R9)(AX*8), Y9, Y6
+	VFMADD231PD (R10)(AX*8), Y8, Y3
+	VFMADD231PD 32(R10)(AX*8), Y9, Y7
+	ADDQ $8, AX
+	JMP  d4_loop8
+
+d4_tail4setup:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+d4_tail4:
+	CMPQ AX, DX
+	JGE  d4_reduce
+	VMOVUPD (SI)(AX*8), Y8
+	VFMADD231PD (DI)(AX*8), Y8, Y0
+	VFMADD231PD (R8)(AX*8), Y8, Y1
+	VFMADD231PD (R9)(AX*8), Y8, Y2
+	VFMADD231PD (R10)(AX*8), Y8, Y3
+	ADDQ $4, AX
+	JMP  d4_tail4
+
+d4_reduce:
+	// fold the paired chains, then reduce each YMM horizontally
+	VADDPD Y4, Y0, Y0
+	VADDPD Y5, Y1, Y1
+	VADDPD Y6, Y2, Y2
+	VADDPD Y7, Y3, Y3
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD X8, X1, X1
+	VHADDPD X1, X1, X1
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD X8, X2, X2
+	VHADDPD X2, X2, X2
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD X8, X3, X3
+	VHADDPD X3, X3, X3
+
+d4_tail1:
+	CMPQ AX, CX
+	JGE  d4_done
+	VMOVSD (SI)(AX*8), X8
+	VFMADD231SD (DI)(AX*8), X8, X0
+	VFMADD231SD (R8)(AX*8), X8, X1
+	VFMADD231SD (R9)(AX*8), X8, X2
+	VFMADD231SD (R10)(AX*8), X8, X3
+	INCQ AX
+	JMP  d4_tail1
+
+d4_done:
+	VMOVSD X0, (R11)
+	VMOVSD X1, 8(R11)
+	VMOVSD X2, 16(R11)
+	VMOVSD X3, 24(R11)
+	VZEROUPPER
+	RET

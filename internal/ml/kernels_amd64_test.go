@@ -1,0 +1,134 @@
+//go:build amd64
+
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSIMDKernelsMatchScalar runs the full batched backprop with the AVX2
+// kernels and again with the portable scalar kernels and checks the
+// results agree to floating-point reassociation tolerance. This is the
+// direct correctness check for kernels_amd64.s.
+func TestSIMDKernelsMatchScalar(t *testing.T) {
+	if !hasSIMD {
+		t.Skip("CPU does not support AVX2+FMA")
+	}
+	defer func() { hasSIMD = true }()
+	rng := rand.New(rand.NewSource(23))
+	cases := []struct {
+		sizes []int
+		n     int
+	}{
+		{[]int{64, 48, 62}, 20},
+		{[]int{33, 21, 11}, 7}, // odd widths exercise every kernel tail
+		{[]int{5, 3}, 2},       // below the vector width
+	}
+	for _, tc := range cases {
+		m, X, Y := randomBatch(tc.sizes, tc.n, rng)
+
+		hasSIMD = true
+		gSIMD := NewGrads(m)
+		lossSIMD := m.BackwardWS(X, Y, gSIMD, NewWorkspace())
+
+		hasSIMD = false
+		gScalar := NewGrads(m)
+		lossScalar := m.BackwardWS(X, Y, gScalar, NewWorkspace())
+		hasSIMD = true
+
+		if d := relDiff(lossSIMD, lossScalar); d > 1e-12 {
+			t.Errorf("sizes=%v n=%d: loss simd=%v scalar=%v (rel %g)", tc.sizes, tc.n, lossSIMD, lossScalar, d)
+		}
+		for l := range gSIMD.W {
+			for i := range gSIMD.W[l] {
+				if d := relDiff(gSIMD.W[l][i], gScalar.W[l][i]); d > 1e-12 {
+					t.Fatalf("sizes=%v n=%d: gW[%d][%d] simd=%v scalar=%v (rel %g)", tc.sizes, tc.n, l, i, gSIMD.W[l][i], gScalar.W[l][i], d)
+				}
+			}
+			for i := range gSIMD.B[l] {
+				if d := relDiff(gSIMD.B[l][i], gScalar.B[l][i]); d > 1e-12 {
+					t.Fatalf("sizes=%v n=%d: gB[%d][%d] simd=%v scalar=%v (rel %g)", tc.sizes, tc.n, l, i, gSIMD.B[l][i], gScalar.B[l][i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestSIMDKernelUnits checks each assembly kernel against its scalar
+// counterpart on ragged lengths that hit the 16-, 8-, 4-wide and scalar
+// tail paths.
+func TestSIMDKernelUnits(t *testing.T) {
+	if !hasSIMD {
+		t.Skip("CPU does not support AVX2+FMA")
+	}
+	defer func() { hasSIMD = true }()
+	rng := rand.New(rand.NewSource(29))
+	fill := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	for _, n := range []int{1, 3, 4, 5, 7, 8, 11, 16, 17, 37, 62, 64} {
+		stride := n + rng.Intn(3)
+		x := fill(8 * stride)
+		y0 := fill(n)
+		y1 := append([]float64(nil), y0...)
+		var c8 [8]float64
+		copy(c8[:], fill(8))
+		c4 := (*[4]float64)(c8[:4])
+
+		hasSIMD = true
+		axpy(c8[0], x[:n], y0)
+		hasSIMD = false
+		axpy(c8[0], x[:n], y1)
+		hasSIMD = true
+		for j := range y0 {
+			if d := relDiff(y0[j], y1[j]); d > 1e-13 {
+				t.Fatalf("axpy n=%d j=%d: simd=%v scalar=%v", n, j, y0[j], y1[j])
+			}
+		}
+
+		y0 = fill(n)
+		y1 = append([]float64(nil), y0...)
+		hasSIMD = true
+		axpyN4(c4, x, stride, y0)
+		hasSIMD = false
+		axpyN4(c4, x, stride, y1)
+		hasSIMD = true
+		for j := range y0 {
+			if d := relDiff(y0[j], y1[j]); d > 1e-13 {
+				t.Fatalf("axpyN4 n=%d j=%d: simd=%v scalar=%v", n, j, y0[j], y1[j])
+			}
+		}
+
+		y0 = fill(n)
+		y1 = append([]float64(nil), y0...)
+		hasSIMD = true
+		axpyN8(&c8, x, stride, y0)
+		hasSIMD = false
+		axpyN8(&c8, x, stride, y1)
+		hasSIMD = true
+		for j := range y0 {
+			if d := relDiff(y0[j], y1[j]); d > 1e-13 {
+				t.Fatalf("axpyN8 n=%d j=%d: simd=%v scalar=%v", n, j, y0[j], y1[j])
+			}
+		}
+
+		d := fill(n)
+		dst0 := make([]float64, 4)
+		dst1 := make([]float64, 4)
+		hasSIMD = true
+		dotN4(d, x, stride, dst0)
+		hasSIMD = false
+		dotN4(d, x, stride, dst1)
+		hasSIMD = true
+		for j := range dst0 {
+			if dd := relDiff(dst0[j], dst1[j]); dd > 1e-13 {
+				t.Fatalf("dotN4 n=%d t=%d: simd=%v scalar=%v", n, j, dst0[j], dst1[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package ml
+
+// Non-amd64 builds always take the portable scalar kernels; the stubs
+// below exist only to satisfy the dispatch sites and are unreachable.
+const hasSIMD = false
+
+func axpyAVX(a float64, x, y *float64, n int)               { panic("ml: SIMD unavailable") }
+func axpy4AVX(c, x *float64, stride int, y *float64, n int) { panic("ml: SIMD unavailable") }
+func axpy8AVX(c, x *float64, stride int, y *float64, n int) { panic("ml: SIMD unavailable") }
+func dot4AVX(d, w *float64, stride int, dst *float64, n int) {
+	panic("ml: SIMD unavailable")
+}

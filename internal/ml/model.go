@@ -100,19 +100,23 @@ func (m *MLP) Forward(x []float64) []float64 {
 }
 
 func (m *MLP) layerForward(l int, a []float64, relu bool) []float64 {
+	z := make([]float64, m.Sizes[l+1])
+	m.layerForwardInto(l, a, z, relu)
+	return z
+}
+
+// layerForwardInto computes layer l's output into z (len Sizes[l+1]).
+func (m *MLP) layerForwardInto(l int, a, z []float64, relu bool) {
 	in, out := m.Sizes[l], m.Sizes[l+1]
-	z := make([]float64, out)
+	z = z[:out]
 	copy(z, m.B[l])
 	w := m.W[l]
-	for i := 0; i < in; i++ {
-		ai := a[i]
+	a = a[:in]
+	for i, ai := range a {
 		if ai == 0 {
 			continue
 		}
-		row := w[i*out : (i+1)*out]
-		for j, wij := range row {
-			z[j] += ai * wij
-		}
+		axpy(ai, w[i*out:i*out+out], z)
 	}
 	if relu {
 		for j := range z {
@@ -121,7 +125,6 @@ func (m *MLP) layerForward(l int, a []float64, relu bool) []float64 {
 			}
 		}
 	}
-	return z
 }
 
 // Predict returns the argmax class for one input.
@@ -152,22 +155,28 @@ func (m *MLP) Accuracy(d *Dataset) float64 {
 
 // Softmax converts logits into probabilities (numerically stable).
 func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	softmaxInto(out, logits)
+	return out
+}
+
+// softmaxInto is Softmax into a caller-provided buffer (dst may alias
+// logits' storage only if identical).
+func softmaxInto(dst, logits []float64) {
 	maxv := logits[0]
 	for _, v := range logits[1:] {
 		if v > maxv {
 			maxv = v
 		}
 	}
-	out := make([]float64, len(logits))
 	sum := 0.0
 	for i, v := range logits {
-		out[i] = math.Exp(v - maxv)
-		sum += out[i]
+		dst[i] = math.Exp(v - maxv)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
 // Grads holds flat per-layer gradients matching the MLP layout.
@@ -177,18 +186,38 @@ type Grads struct {
 }
 
 // NewGrads allocates zeroed gradients for m.
-func NewGrads(m *MLP) *Grads {
+func NewGrads(m *MLP) *Grads { return newGrads(m.Sizes) }
+
+// newGrads allocates zeroed gradients for an architecture.
+func newGrads(sizes []int) *Grads {
 	g := &Grads{}
-	for l := range m.W {
-		g.W = append(g.W, make([]float64, len(m.W[l])))
-		g.B = append(g.B, make([]float64, len(m.B[l])))
+	for l := 0; l+1 < len(sizes); l++ {
+		g.W = append(g.W, make([]float64, sizes[l]*sizes[l+1]))
+		g.B = append(g.B, make([]float64, sizes[l+1]))
 	}
 	return g
 }
 
+// NumParams returns the total number of gradient entries.
+func (g *Grads) NumParams() int {
+	n := 0
+	for l := range g.W {
+		n += len(g.W[l]) + len(g.B[l])
+	}
+	return n
+}
+
+// Zero clears the gradients in place for the next batch.
+func (g *Grads) Zero() {
+	for l := range g.W {
+		clear(g.W[l])
+		clear(g.B[l])
+	}
+}
+
 // Flat flattens the gradients in Params order.
 func (g *Grads) Flat() []float64 {
-	var out []float64
+	out := make([]float64, 0, g.NumParams())
 	for l := range g.W {
 		out = append(out, g.W[l]...)
 		out = append(out, g.B[l]...)
@@ -197,68 +226,30 @@ func (g *Grads) Flat() []float64 {
 }
 
 // Backward computes the average cross-entropy loss and its gradients over
-// a mini-batch (rows of X with labels Y), accumulating into g.
+// a mini-batch (rows of X with labels Y), accumulating into g. It is a
+// thin wrapper over BackwardWS with a throwaway workspace; hot paths hold
+// a per-worker Workspace instead.
 func (m *MLP) Backward(X [][]float64, Y []int, g *Grads) float64 {
-	n := len(Y)
-	if n == 0 {
-		return 0
+	return m.BackwardWS(X, Y, g, NewWorkspace())
+}
+
+// DeltaInto writes this model's parameters minus base into dst, both in
+// Params order (the client-update delta, computed without flattening).
+func (m *MLP) DeltaInto(base, dst []float64) {
+	if len(base) != m.NumParams() || len(dst) != len(base) {
+		panic(fmt.Sprintf("ml: DeltaInto length %d/%d want %d", len(base), len(dst), m.NumParams()))
 	}
-	L := len(m.W)
-	loss := 0.0
-	// Per-example backprop; models are small so this is fine and keeps the
-	// code transparent.
-	acts := make([][]float64, L+1)
-	for idx := 0; idx < n; idx++ {
-		acts[0] = X[idx]
-		for l := 0; l < L; l++ {
-			acts[l+1] = m.layerForward(l, acts[l], l+1 < L)
+	off := 0
+	for l := range m.W {
+		for _, v := range m.W[l] {
+			dst[off] = v - base[off]
+			off++
 		}
-		probs := Softmax(acts[L])
-		p := probs[Y[idx]]
-		if p < 1e-15 {
-			p = 1e-15
-		}
-		loss += -math.Log(p)
-		// delta at output layer.
-		delta := make([]float64, len(probs))
-		copy(delta, probs)
-		delta[Y[idx]] -= 1
-		for l := L - 1; l >= 0; l-- {
-			in, out := m.Sizes[l], m.Sizes[l+1]
-			a := acts[l]
-			gw, gb := g.W[l], g.B[l]
-			for j := 0; j < out; j++ {
-				gb[j] += delta[j] / float64(n)
-			}
-			for i := 0; i < in; i++ {
-				if a[i] == 0 {
-					continue
-				}
-				row := gw[i*out : (i+1)*out]
-				scale := a[i] / float64(n)
-				for j := 0; j < out; j++ {
-					row[j] += scale * delta[j]
-				}
-			}
-			if l > 0 {
-				w := m.W[l]
-				prev := make([]float64, in)
-				for i := 0; i < in; i++ {
-					if a[i] <= 0 { // ReLU gate (a == relu(z))
-						continue
-					}
-					row := w[i*out : (i+1)*out]
-					s := 0.0
-					for j := 0; j < out; j++ {
-						s += row[j] * delta[j]
-					}
-					prev[i] = s
-				}
-				delta = prev
-			}
+		for _, v := range m.B[l] {
+			dst[off] = v - base[off]
+			off++
 		}
 	}
-	return loss / float64(n)
 }
 
 // Loss computes the average cross-entropy loss without gradients.

@@ -13,7 +13,7 @@ type SGD struct {
 
 // Step applies one update: p ← p − lr·(g + wd·p) with momentum.
 func (s *SGD) Step(params, grads []float64) {
-	if s.vel == nil {
+	if len(s.vel) != len(params) {
 		s.vel = make([]float64, len(params))
 	}
 	for i := range params {
@@ -23,44 +23,53 @@ func (s *SGD) Step(params, grads []float64) {
 	}
 }
 
+// Reset clears the momentum state so the optimizer (and its velocity
+// buffer) can be reused for a fresh client.
+func (s *SGD) Reset() { clear(s.vel) }
+
+// StepModel applies one update directly to the model's layer slices —
+// the same arithmetic as Flat/Params/Step/SetParams without the three
+// full-vector copies. The FedProx pull μ·(p − anchor) is folded in when
+// mu > 0 (anchor is flat, Params order).
+func (s *SGD) StepModel(m *MLP, g *Grads, mu float64, anchor []float64) {
+	total := m.NumParams()
+	if len(s.vel) != total {
+		s.vel = make([]float64, total)
+	}
+	if anchor == nil {
+		mu = 0
+	}
+	off := 0
+	for l := range m.W {
+		off = s.stepSlice(m.W[l], g.W[l], mu, anchor, off)
+		off = s.stepSlice(m.B[l], g.B[l], mu, anchor, off)
+	}
+}
+
+func (s *SGD) stepSlice(p, g []float64, mu float64, anchor []float64, off int) int {
+	vel := s.vel[off : off+len(p)]
+	lr, mom, wd := s.LR, s.Momentum, s.WeightDecay
+	if mu > 0 {
+		anc := anchor[off : off+len(p)]
+		for i := range p {
+			gi := g[i] + mu*(p[i]-anc[i]) + wd*p[i]
+			vel[i] = mom*vel[i] - lr*gi
+			p[i] += vel[i]
+		}
+	} else {
+		for i := range p {
+			gi := g[i] + wd*p[i]
+			vel[i] = mom*vel[i] - lr*gi
+			p[i] += vel[i]
+		}
+	}
+	return off + len(p)
+}
+
 // TrainEpoch runs one epoch of mini-batch SGD over the dataset and returns
 // the mean training loss. The proximal term μ/2·‖w − w₀‖² (FedProx, §4.3)
-// is applied when mu > 0 with anchor w₀ = anchor.
+// is applied when mu > 0 with anchor w₀ = anchor. It is a thin wrapper
+// over TrainEpochWS with a throwaway workspace.
 func TrainEpoch(m *MLP, d *Dataset, batch int, opt *SGD, mu float64, anchor []float64, rng *rand.Rand) float64 {
-	n := len(d.Y)
-	if n == 0 {
-		return 0
-	}
-	if batch <= 0 || batch > n {
-		batch = n
-	}
-	order := rng.Perm(n)
-	totalLoss := 0.0
-	batches := 0
-	for start := 0; start < n; start += batch {
-		end := start + batch
-		if end > n {
-			end = n
-		}
-		bx := make([][]float64, 0, end-start)
-		by := make([]int, 0, end-start)
-		for _, idx := range order[start:end] {
-			bx = append(bx, d.X[idx])
-			by = append(by, d.Y[idx])
-		}
-		g := NewGrads(m)
-		loss := m.Backward(bx, by, g)
-		flatG := g.Flat()
-		params := m.Params()
-		if mu > 0 && anchor != nil {
-			for i := range flatG {
-				flatG[i] += mu * (params[i] - anchor[i])
-			}
-		}
-		opt.Step(params, flatG)
-		m.SetParams(params)
-		totalLoss += loss
-		batches++
-	}
-	return totalLoss / float64(batches)
+	return TrainEpochWS(m, d, batch, opt, mu, anchor, rng, NewWorkspace())
 }

@@ -1,0 +1,330 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Workspace owns every scratch buffer one training worker needs — batch
+// activation matrices, backprop delta matrices, gradient and momentum
+// buffers, the mini-batch index/view slices, and a scratch model. Reusing
+// one Workspace across batches (and across clients on the same worker)
+// makes the training hot path allocation-free in steady state; the
+// per-example wrappers (Backward, TrainEpoch) remain as thin shims that
+// build a throwaway Workspace.
+//
+// A Workspace is not safe for concurrent use; give each worker goroutine
+// its own (see fl's training pool).
+type Workspace struct {
+	sizes []int
+	// nCap is the largest batch size the matrices below are shaped for.
+	nCap int
+	// actm[l] is the (nCap × Sizes[l]) batch activation matrix of layer
+	// l's input (actm[0] holds the batch inputs, actm[L] the logits).
+	actm [][]float64
+	// deltaM0/deltaM1 are ping-pong (nCap × maxWidth) delta matrices.
+	deltaM0, deltaM1 []float64
+	grads            *Grads
+	perm             []int
+	bx               [][]float64
+	by               []int
+	model            *MLP
+	opt              SGD
+}
+
+// NewWorkspace returns an empty workspace; buffers are shaped lazily on
+// first use and reshaped whenever the model architecture or batch size
+// grows.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure shapes the architecture-dependent buffers.
+func (ws *Workspace) ensure(sizes []int) {
+	if intsEqual(ws.sizes, sizes) {
+		return
+	}
+	ws.sizes = append(ws.sizes[:0], sizes...)
+	ws.nCap = 0 // force matrix reshape
+	ws.actm = nil
+	ws.grads = newGrads(sizes)
+	L := len(sizes) - 1
+	ws.model = &MLP{Sizes: append([]int(nil), sizes...)}
+	ws.model.W, ws.model.B = nil, nil
+	for l := 0; l < L; l++ {
+		ws.model.W = append(ws.model.W, make([]float64, sizes[l]*sizes[l+1]))
+		ws.model.B = append(ws.model.B, make([]float64, sizes[l+1]))
+	}
+}
+
+// ensureBatch shapes the batch matrices for n examples of the given
+// architecture.
+func (ws *Workspace) ensureBatch(sizes []int, n int) {
+	ws.ensure(sizes)
+	if n <= ws.nCap {
+		return
+	}
+	ws.nCap = n
+	L := len(sizes) - 1
+	ws.actm = make([][]float64, L+1)
+	maxW := 0
+	for l := 0; l <= L; l++ {
+		ws.actm[l] = make([]float64, n*sizes[l])
+		if sizes[l] > maxW {
+			maxW = sizes[l]
+		}
+	}
+	ws.deltaM0 = make([]float64, n*maxW)
+	ws.deltaM1 = make([]float64, n*maxW)
+}
+
+// Model returns the workspace's scratch model shaped like sizes. Its
+// weights are whatever the last user left; callers install parameters with
+// SetParams before training.
+func (ws *Workspace) Model(sizes []int) *MLP {
+	ws.ensure(sizes)
+	return ws.model
+}
+
+// Grads returns the workspace's gradient buffer shaped like sizes,
+// zeroed and ready to accumulate one batch.
+func (ws *Workspace) Grads(sizes []int) *Grads {
+	ws.ensure(sizes)
+	ws.grads.Zero()
+	return ws.grads
+}
+
+// Optimizer returns the workspace's reusable SGD configured for a new
+// client: hyperparameters installed, momentum cleared, velocity buffer
+// retained.
+func (ws *Workspace) Optimizer(lr, momentum float64) *SGD {
+	vel := ws.opt.vel
+	ws.opt = SGD{LR: lr, Momentum: momentum, vel: vel}
+	ws.opt.Reset()
+	return &ws.opt
+}
+
+// permBuf returns the workspace's reusable permutation buffer of length n.
+func (ws *Workspace) permBuf(n int) []int {
+	if cap(ws.perm) < n {
+		ws.perm = make([]int, n)
+	}
+	return ws.perm[:n]
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BackwardWS computes the batch-mean cross-entropy loss and gradients like
+// Backward, accumulating into g, with every intermediate buffer drawn from
+// ws — zero allocations in steady state. The batch is processed
+// batch-major (activation and delta matrices), so each weight row is
+// streamed once per batch instead of once per example.
+func (m *MLP) BackwardWS(X [][]float64, Y []int, g *Grads, ws *Workspace) float64 {
+	n := len(Y)
+	if n == 0 {
+		return 0
+	}
+	ws.ensureBatch(m.Sizes, n)
+	L := len(m.W)
+	invN := 1 / float64(n)
+
+	// Forward: copy the batch into the contiguous input matrix, then
+	// propagate layer by layer.
+	in0 := m.Sizes[0]
+	A0 := ws.actm[0]
+	for b := 0; b < n; b++ {
+		copy(A0[b*in0:b*in0+in0], X[b][:in0])
+	}
+	for l := 0; l < L; l++ {
+		m.batchForward(l, n, ws.actm[l], ws.actm[l+1], l+1 < L)
+	}
+
+	// Softmax, loss, and the output-layer delta matrix (p − onehot).
+	outL := m.Sizes[L]
+	ZL := ws.actm[L]
+	D := ws.deltaM0
+	loss := 0.0
+	for b := 0; b < n; b++ {
+		z := ZL[b*outL : b*outL+outL]
+		d := D[b*outL : b*outL+outL]
+		softmaxInto(d, z)
+		p := d[Y[b]]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		loss += -math.Log(p)
+		d[Y[b]] -= 1
+	}
+
+	// Backward: walk layers down, accumulating gradients and computing the
+	// previous layer's delta matrix.
+	cur, spare := ws.deltaM0, ws.deltaM1
+	for l := L - 1; l >= 0; l-- {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		Al := ws.actm[l]
+
+		// Bias gradients: invN-scaled column sums of the delta matrix.
+		gb := g.B[l][:out]
+		var cb [8]float64
+		for t := range cb {
+			cb[t] = invN
+		}
+		b := 0
+		for ; b+8 <= n; b += 8 {
+			axpyN8(&cb, cur[b*out:], out, gb)
+		}
+		for ; b < n; b++ {
+			axpy(invN, cur[b*out:b*out+out], gb)
+		}
+
+		// Weight gradients: gw[i] += Σ_b (Al[b][i]·invN) · delta row b,
+		// batch-blocked so each gradient row is loaded once per 8 examples.
+		gw, w := g.W[l], m.W[l]
+		for i := 0; i < in; i++ {
+			gr := gw[i*out : i*out+out]
+			b := 0
+			for ; b+8 <= n; b += 8 {
+				var c [8]float64
+				for t := range c {
+					c[t] = Al[(b+t)*in+i] * invN
+				}
+				axpyN8(&c, cur[b*out:], out, gr)
+			}
+			if b+4 <= n {
+				var c [4]float64
+				for t := range c {
+					c[t] = Al[(b+t)*in+i] * invN
+				}
+				axpyN4(&c, cur[b*out:], out, gr)
+				b += 4
+			}
+			for ; b < n; b++ {
+				if ai := Al[b*in+i]; ai != 0 {
+					axpy(ai*invN, cur[b*out:b*out+out], gr)
+				}
+			}
+		}
+
+		if l > 0 {
+			// Previous-layer deltas: spare[b][i] = Σ_j w[i][j]·cur[b][j],
+			// then gated by ReLU' (hidden activations are ReLU outputs, so
+			// the gate is exactly Al > 0 — and 0 where Al is 0).
+			for b := 0; b < n; b++ {
+				drow := cur[b*out : b*out+out]
+				prow := spare[b*in : b*in+in]
+				arow := Al[b*in : b*in+in]
+				i := 0
+				for ; i+4 <= in; i += 4 {
+					dotN4(drow, w[i*out:], out, prow[i:i+4])
+				}
+				for ; i < in; i++ {
+					prow[i] = dot(w[i*out:i*out+out], drow)
+				}
+				for i := range prow {
+					if arow[i] == 0 {
+						prow[i] = 0
+					}
+				}
+			}
+			cur, spare = spare, cur
+		}
+	}
+	return loss * invN
+}
+
+// batchForward computes layer l's outputs for all n examples: Z = A·W + b
+// (with optional ReLU), input-blocked ×8 so each weight row is loaded once
+// per batch and each output row is touched once per 8 input units.
+func (m *MLP) batchForward(l, n int, A, Z []float64, relu bool) {
+	in, out := m.Sizes[l], m.Sizes[l+1]
+	bias := m.B[l]
+	for b := 0; b < n; b++ {
+		copy(Z[b*out:b*out+out], bias)
+	}
+	w := m.W[l]
+	i := 0
+	for ; i+8 <= in; i += 8 {
+		wRows := w[i*out:]
+		for b := 0; b < n; b++ {
+			c := (*[8]float64)(A[b*in+i : b*in+i+8])
+			axpyN8(c, wRows, out, Z[b*out:b*out+out])
+		}
+	}
+	if i+4 <= in {
+		wRows := w[i*out:]
+		for b := 0; b < n; b++ {
+			c := (*[4]float64)(A[b*in+i : b*in+i+4])
+			axpyN4(c, wRows, out, Z[b*out:b*out+out])
+		}
+		i += 4
+	}
+	for ; i < in; i++ {
+		row := w[i*out : i*out+out]
+		for b := 0; b < n; b++ {
+			if ai := A[b*in+i]; ai != 0 {
+				axpy(ai, row, Z[b*out:b*out+out])
+			}
+		}
+	}
+	if relu {
+		zn := Z[:n*out]
+		for j := range zn {
+			if zn[j] < 0 {
+				zn[j] = 0
+			}
+		}
+	}
+}
+
+// TrainEpochWS is TrainEpoch with every scratch buffer drawn from ws and
+// the SGD step applied in place to the model's layers — no flat-vector
+// round trips, zero steady-state allocations per batch.
+func TrainEpochWS(m *MLP, d *Dataset, batch int, opt *SGD, mu float64, anchor []float64, rng *rand.Rand, ws *Workspace) float64 {
+	n := len(d.Y)
+	if n == 0 {
+		return 0
+	}
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	ws.ensure(m.Sizes)
+	order := ws.permBuf(n)
+	permInto(order, rng)
+	totalLoss := 0.0
+	batches := 0
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		bx, by := ws.bx[:0], ws.by[:0]
+		for _, idx := range order[start:end] {
+			bx = append(bx, d.X[idx])
+			by = append(by, d.Y[idx])
+		}
+		ws.bx, ws.by = bx, by
+		ws.grads.Zero()
+		totalLoss += m.BackwardWS(bx, by, ws.grads, ws)
+		opt.StepModel(m, ws.grads, mu, anchor)
+		batches++
+	}
+	return totalLoss / float64(batches)
+}
+
+// permInto fills p with a uniform permutation of [0, len(p)), consuming
+// the rng stream exactly like rand.Perm but without allocating.
+func permInto(p []int, rng *rand.Rand) {
+	for i := range p {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+}

@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"sort"
 	"time"
 
 	"totoro/internal/ids"
@@ -135,6 +136,21 @@ func New(env transport.Env, rn *ring.Node, cfg Config) *Node {
 
 // SetHandlers installs the application upcalls.
 func (n *Node) SetHandlers(h Handlers) { n.handlers = h }
+
+// childList returns the topic's children sorted by address. Every send or
+// selection that walks the children must use this instead of ranging over
+// the map: Go randomizes map iteration order per run, and iteration order
+// decides message send order (hence event order, hence floating-point merge
+// order at aggregation points). Sorted iteration keeps whole-cluster runs
+// bit-for-bit reproducible.
+func childList(st *topicState) []ring.Contact {
+	out := make([]ring.Contact, 0, len(st.children))
+	for _, c := range st.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
 
 // state returns (creating if needed) the per-topic state.
 func (n *Node) state(topic ids.ID) *topicState {
@@ -325,7 +341,7 @@ func (n *Node) learnTreeConfig(st *topicState, cfg TreeConfig) {
 		return
 	}
 	n.enforceFanout(st)
-	for _, c := range st.children {
+	for _, c := range childList(st) {
 		n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, LastSeq: st.mcLast})
 	}
 }
@@ -341,14 +357,14 @@ func (n *Node) enforceFanout(st *topicState) {
 		// the sibling closest to it.
 		var victim ring.Contact
 		self := n.ring.Self().ID
-		for _, ch := range st.children {
+		for _, ch := range childList(st) {
 			if victim.IsZero() || ids.Closer(self, victim.ID, ch.ID) {
 				victim = ch
 			}
 		}
 		delete(st.children, victim.Addr)
 		var target ring.Contact
-		for _, ch := range st.children {
+		for _, ch := range childList(st) {
 			if target.IsZero() || ids.Closer(victim.ID, ch.ID, target.ID) {
 				target = ch
 			}
@@ -376,7 +392,7 @@ func (n *Node) addChild(st *topicState, c ring.Contact) {
 		// Push down: redirect the join to the child whose ID is closest to
 		// the subscriber (keeps locality and balances subtrees).
 		var best ring.Contact
-		for _, ch := range st.children {
+		for _, ch := range childList(st) {
 			if best.IsZero() || ids.Closer(c.ID, ch.ID, best.ID) {
 				best = ch
 			}
@@ -439,7 +455,7 @@ func (n *Node) handleMulticast(m Multicast) {
 }
 
 func (n *Node) forwardMulticast(st *topicState, m Multicast) {
-	for _, c := range st.children {
+	for _, c := range childList(st) {
 		n.Stats.MulticastsSent++
 		n.env.Send(c.Addr, Multicast{Topic: m.Topic, Seq: m.Seq, Depth: m.Depth + 1, Object: m.Object})
 	}
@@ -628,7 +644,7 @@ func (n *Node) ensureKeepAlive(st *topicState) {
 	var tick func()
 	tick = func() {
 		if len(st.children) > 0 {
-			for _, c := range st.children {
+			for _, c := range childList(st) {
 				n.env.Send(c.Addr, KeepAlive{Topic: st.topic, Parent: n.ring.Self(), LastSeq: st.mcLast})
 			}
 		}
@@ -753,9 +769,7 @@ func (n *Node) TreeInfo(topic ids.ID) (Info, bool) {
 		Parent:     st.parent,
 		Attached:   st.isRoot || !st.parent.IsZero(),
 	}
-	for _, c := range st.children {
-		info.Children = append(info.Children, c)
-	}
+	info.Children = childList(st)
 	return info, true
 }
 

@@ -29,6 +29,10 @@ type App struct {
 	TargetAccuracy float64
 	// MaxRounds bounds training length.
 	MaxRounds int
+	// Seed roots the app's deterministic per-client training randomness:
+	// every client derives its round rng from (Seed, round, client), so
+	// training order and parallelism cannot perturb results.
+	Seed int64
 }
 
 // ModelBytes is the wire size of one dense model/update for the app.
@@ -115,6 +119,7 @@ func makeApp(p Params, idx int, rng *rand.Rand) *App {
 		Participation:  1.0,
 		TargetAccuracy: target,
 		MaxRounds:      60,
+		Seed:           p.Seed*1_000_003 + int64(idx),
 	}
 }
 
