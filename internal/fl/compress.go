@@ -10,6 +10,11 @@ import (
 // and the number of bytes the compressed form costs on the wire, which the
 // traffic experiments charge instead of the dense size. Application owners
 // pick a compressor per application (Broadcast API, Table 2).
+//
+// Ownership contract: Apply may return v itself (the identity compressor
+// does), and the caller treats recon as owned — typically handing it to
+// NewAccumOwning, which scales it in place. Callers must therefore pass a
+// buffer they own and not reuse v afterwards.
 type Compressor interface {
 	Name() string
 	Apply(v []float64) (recon []float64, wireBytes int)

@@ -18,23 +18,48 @@ import (
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
 var (
-	poolSlots chan struct{}
 	poolOnce  sync.Once
+	poolMu    sync.Mutex
+	poolCond  *sync.Cond
+	poolQueue []func(ws *ml.Workspace) // FIFO of pending jobs
 	wsPool    = sync.Pool{New: func() any { return ml.NewWorkspace() }}
 )
 
-func slots() chan struct{} {
+// startWorkers lazily spins up the fixed worker set: one long-lived
+// goroutine per slot, each draining the shared queue. Goroutine count is
+// bounded for the life of the process no matter how many jobs the
+// simulators submit eagerly at round start, and the queue preserves FIFO
+// submission order.
+func startWorkers() {
 	poolOnce.Do(func() {
+		poolCond = sync.NewCond(&poolMu)
 		n := Workers()
 		if n < 1 {
 			n = 1
 		}
-		poolSlots = make(chan struct{}, n)
 		for i := 0; i < n; i++ {
-			poolSlots <- struct{}{}
+			go poolWorker()
 		}
 	})
-	return poolSlots
+}
+
+func poolWorker() {
+	for {
+		poolMu.Lock()
+		for len(poolQueue) == 0 {
+			poolCond.Wait()
+		}
+		job := poolQueue[0]
+		poolQueue[0] = nil // release the popped job for GC
+		poolQueue = poolQueue[1:]
+		if len(poolQueue) == 0 {
+			poolQueue = nil // drop the drained backing array
+		}
+		poolMu.Unlock()
+		ws := wsPool.Get().(*ml.Workspace)
+		job(ws)
+		wsPool.Put(ws)
+	}
 }
 
 // Future is a handle to a job submitted with Go.
@@ -46,21 +71,22 @@ type Future struct {
 // caller a happens-before edge on everything the job wrote.
 func (f *Future) Wait() { <-f.done }
 
-// Go runs job on a pool slot with a recycled per-worker workspace. Submit
-// the job at the moment its inputs are known and Wait at the point the
-// result is needed; the simulators use this to overlap client training
-// with (virtual) time.
+// Go enqueues job for the worker pool, which hands it a recycled
+// per-worker workspace; submission never blocks. Submit the job at the
+// moment its inputs are known and Wait at the point the result is needed;
+// the simulators use this to overlap client training with (virtual) time.
+// Jobs must not Wait on other pool jobs: with every worker parked in such
+// a Wait the queue would deadlock.
 func Go(job func(ws *ml.Workspace)) *Future {
 	f := &Future{done: make(chan struct{})}
-	s := slots()
-	go func() {
-		<-s
-		ws := wsPool.Get().(*ml.Workspace)
+	startWorkers()
+	poolMu.Lock()
+	poolQueue = append(poolQueue, func(ws *ml.Workspace) {
 		job(ws)
-		wsPool.Put(ws)
-		s <- struct{}{}
 		close(f.done)
-	}()
+	})
+	poolMu.Unlock()
+	poolCond.Signal()
 	return f
 }
 

@@ -233,11 +233,22 @@ func (n *Node) Publish(topic ids.ID, obj any) {
 func (n *Node) SubmitUpdate(topic ids.ID, round int, obj any) {
 	st := n.state(topic)
 	r := n.round(st, round)
+	r.selfDone = true
+	if r.flushed {
+		// Late self-contribution after a timeout flush: r.combined was
+		// already forwarded upstream by reference (the in-memory transport
+		// does not copy messages, and the combiner merges in place), so it
+		// must not be touched. Forward the late object as a supplementary
+		// partial instead, mirroring straggler handling in handleUpstream.
+		if obj != nil {
+			n.forwardUp(st, round, obj, 1)
+		}
+		return
+	}
 	if obj != nil {
 		r.combined = n.combine(topic, r.combined, obj)
 		r.count++
 	}
-	r.selfDone = true
 	n.maybeFlush(st, round, r)
 }
 
@@ -548,20 +559,24 @@ func (n *Node) round(st *topicState, round int) *aggRound {
 func (n *Node) handleUpstream(m Upstream) {
 	st := n.state(m.Topic)
 	r := n.round(st, m.Round)
-	if m.Object != nil {
-		r.combined = n.combine(m.Topic, r.combined, m.Object)
-		r.count += m.Count
-	}
 	r.reported[m.From.Addr] = true
 	delete(st.missCount, m.From.Addr)
 	if n.handlers.OnChildUpdate != nil {
 		n.handlers.OnChildUpdate(m.Topic, m.Round, m.From, m.Count)
 	}
 	if r.flushed {
-		// Late contribution after a timeout flush: forward it upstream as a
-		// supplementary partial so the root still counts it.
+		// Late contribution after a timeout flush: r.combined was already
+		// forwarded upstream by reference (the in-memory transport does not
+		// copy messages, and the combiner merges in place), so merging here
+		// would mutate the aggregate the parent holds and double-count the
+		// straggler. Forward it untouched as a supplementary partial so the
+		// root still counts it exactly once.
 		n.forwardUp(st, m.Round, m.Object, m.Count)
 		return
+	}
+	if m.Object != nil {
+		r.combined = n.combine(m.Topic, r.combined, m.Object)
+		r.count += m.Count
 	}
 	n.maybeFlush(st, m.Round, r)
 }

@@ -297,6 +297,82 @@ func TestAggregationTimeoutFlushesPartial(t *testing.T) {
 	}
 }
 
+// TestPostFlushStragglerWithInPlaceCombiner reproduces the FL layer's
+// combiner contract: the left operand is owned and mutated in place, and
+// the right operand is adopted by reference when the left is nil. Because
+// the in-memory transport hands objects upstream by reference, a node must
+// never merge a late contribution into an accumulator it already flushed —
+// the flushed object is the very one its parent (or the root's OnAggregate
+// record) holds, so the straggler would be both double-counted there and
+// forwarded again as a supplementary partial.
+func TestPostFlushStragglerWithInPlaceCombiner(t *testing.T) {
+	type acc struct{ sum, count int }
+	f := newForest(t, 150, ring.Config{B: 4}, Config{AggTimeout: 100 * time.Millisecond}, 5)
+	topic := ids.Hash("app-late-straggler")
+	var results []*acc
+	for _, s := range f.stacks {
+		s.ps.SetHandlers(Handlers{
+			Combine: func(_ ids.ID, a, b any) any {
+				aa, bb := a.(*acc), b.(*acc)
+				aa.sum += bb.sum
+				aa.count += bb.count
+				return aa
+			},
+			OnAggregate: func(tp ids.ID, round int, obj any, count int) {
+				if tp == topic && obj != nil {
+					results = append(results, obj.(*acc))
+				}
+			},
+		})
+	}
+	var subs []*stack
+	for i := 0; i < 40; i++ {
+		s := f.stacks[f.rng.Intn(len(f.stacks))]
+		s.ps.Subscribe(topic)
+		subs = append(subs, s)
+	}
+	f.net.RunUntilIdle()
+	root := f.verifyTree(t, topic, subs)
+	// The straggler is a direct child of the root: its late report reaches
+	// a flushed round whose combined object OnAggregate recorded, which is
+	// exactly where a post-flush merge would corrupt the result.
+	rootInfo, _ := root.ps.TreeInfo(topic)
+	if len(rootInfo.Children) == 0 {
+		t.Fatal("root has no children")
+	}
+	straggler := f.byAddr[rootInfo.Children[0].Addr]
+	contributors := 0
+	for _, s := range f.attachedMembers(topic) {
+		if s == straggler {
+			continue
+		}
+		info, _ := s.ps.TreeInfo(topic)
+		if info.Subscribed {
+			s.ps.SubmitUpdate(topic, 3, &acc{sum: 1, count: 1})
+			contributors++
+		} else {
+			s.ps.SubmitUpdate(topic, 3, nil)
+		}
+	}
+	f.net.Run(5 * time.Second) // every round has timeout-flushed by now
+	if len(results) == 0 {
+		t.Fatal("no aggregate despite timeout")
+	}
+	straggler.ps.SubmitUpdate(topic, 3, &acc{sum: 1000, count: 1})
+	f.net.Run(5 * time.Second)
+	totalSum, totalCount := 0, 0
+	for _, r := range results {
+		totalSum += r.sum
+		totalCount += r.count
+	}
+	if want := contributors + 1000; totalSum != want {
+		t.Fatalf("aggregate sum = %d want %d (late straggler dropped or double-counted)", totalSum, want)
+	}
+	if want := contributors + 1; totalCount != want {
+		t.Fatalf("aggregate count = %d want %d", totalCount, want)
+	}
+}
+
 func TestMaxFanoutRespected(t *testing.T) {
 	f := newForest(t, 400, ring.Config{B: 5}, Config{MaxFanout: 4}, 6)
 	topic := ids.Hash("app-fanout")
