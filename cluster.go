@@ -46,6 +46,11 @@ type ClusterConfig struct {
 	// single compute queue. Nil means one logical node per host; N then
 	// counts physical hosts either way.
 	VirtualNodesOf func(host int) int
+	// Replicas, ReplicaCheckInterval, and FailoverGrace configure master
+	// failover on every engine (see Options). Replicas = 0 disables it.
+	Replicas             int
+	ReplicaCheckInterval time.Duration
+	FailoverGrace        time.Duration
 }
 
 // Cluster is a whole simulated Totoro deployment: N engines on a
@@ -121,13 +126,16 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			var eng *Engine
 			c.Net.AddNode(addr, func(env transport.Env) transport.Handler {
 				eng = NewEngine(env, ring.Contact{ID: id, Addr: addr}, Options{
-					Ring:     cfg.Ring,
-					PubSub:   cfg.PubSub,
-					Cost:     cfg.Cost,
-					Speed:    speed,
-					ZoneBits: cfg.ZoneBits,
-					Queue:    queue,
-					Eval:     c.evalApp,
+					Ring:                 cfg.Ring,
+					PubSub:               cfg.PubSub,
+					Cost:                 cfg.Cost,
+					Speed:                speed,
+					ZoneBits:             cfg.ZoneBits,
+					Queue:                queue,
+					Eval:                 c.evalApp,
+					Replicas:             cfg.Replicas,
+					ReplicaCheckInterval: cfg.ReplicaCheckInterval,
+					FailoverGrace:        cfg.FailoverGrace,
 				})
 				return eng
 			})
@@ -272,14 +280,19 @@ func (c *Cluster) Progress(id AppID) *workload.Progress {
 	return nil
 }
 
-// Master returns the engine currently mastering the app, or nil.
+// Master returns the engine currently mastering the app, or nil. A dead
+// node's engine keeps its master state in memory, so only engines whose
+// node is alive count — after a failover the promoted successor is
+// returned, not the corpse.
 func (c *Cluster) Master(id AppID) *Engine {
 	reg := c.apps[id]
-	if reg != nil && reg.master >= 0 && c.Engines[reg.master].IsMaster(id) {
-		return c.Engines[reg.master]
+	if reg != nil && reg.master >= 0 {
+		if e := c.Engines[reg.master]; e.IsMaster(id) && c.Net.Alive(e.Self().Addr) {
+			return e
+		}
 	}
 	for i, e := range c.Engines {
-		if e.IsMaster(id) {
+		if e.IsMaster(id) && c.Net.Alive(e.Self().Addr) {
 			if reg != nil {
 				reg.master = i
 			}
@@ -287,6 +300,17 @@ func (c *Cluster) Master(id AppID) *Engine {
 		}
 	}
 	return nil
+}
+
+// StartMaintenance starts periodic leaf-set maintenance on every engine's
+// ring node — required for failover: it is what scrubs a dead master from
+// the successors' routing state so ring ownership of the app key moves.
+// Note the probe timers keep the event queue busy forever; drive the
+// network with Run/StepUntilDone, not RunUntilIdle, after calling this.
+func (c *Cluster) StartMaintenance(interval time.Duration) {
+	for _, e := range c.Engines {
+		e.Ring().StartMaintenance(interval)
+	}
 }
 
 // Spec returns the registered spec for an app.

@@ -3,28 +3,41 @@
 // their trajectories.
 //
 //	totoro-sim -nodes 150 -apps 5 -clients 16 -fanout 16 -task speech
+//
+// With -churn the deployment trains under a seeded Poisson fault process
+// (and is automatically configured for resilience: reliable routing hops,
+// keep-alive tree repair, and master-state replication):
+//
+//	totoro-sim -churn 2s -churn-down 10s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
+	"time"
 
 	totoro "totoro"
+	"totoro/internal/pubsub"
 	"totoro/internal/ring"
+	"totoro/internal/simnet"
+	"totoro/internal/transport"
 	"totoro/internal/workload"
 )
 
 func main() {
 	var (
-		nodes   = flag.Int("nodes", 120, "edge nodes in the deployment")
-		apps    = flag.Int("apps", 3, "concurrently training applications")
-		clients = flag.Int("clients", 12, "workers per application")
-		samples = flag.Int("samples", 50, "training samples per worker")
-		fanout  = flag.Int("fanout", 16, "tree fanout: 8, 16, or 32")
-		task    = flag.String("task", "speech", "workload: speech or femnist")
-		rounds  = flag.Int("rounds", 40, "maximum training rounds")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
+		nodes     = flag.Int("nodes", 120, "edge nodes in the deployment")
+		apps      = flag.Int("apps", 3, "concurrently training applications")
+		clients   = flag.Int("clients", 12, "workers per application")
+		samples   = flag.Int("samples", 50, "training samples per worker")
+		fanout    = flag.Int("fanout", 16, "tree fanout: 8, 16, or 32")
+		task      = flag.String("task", "speech", "workload: speech or femnist")
+		rounds    = flag.Int("rounds", 40, "maximum training rounds")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		churn     = flag.Duration("churn", 0, "mean time between node failures (0 = no churn)")
+		churnDown = flag.Duration("churn-down", 10*time.Second, "downtime before a failed node revives")
 	)
 	flag.Parse()
 
@@ -49,12 +62,28 @@ func main() {
 		log.Fatalf("task must be speech or femnist")
 	}
 
-	cluster := totoro.NewCluster(totoro.ClusterConfig{
+	cfg := totoro.ClusterConfig{
 		N:         *nodes,
 		Seed:      *seed,
 		Ring:      ring.Config{B: b},
 		Bandwidth: 2 << 20,
-	})
+	}
+	if *churn > 0 {
+		// Churn demands the resilient stack: per-hop acks with rerouting,
+		// keep-alive repair of broken tree edges, partial-aggregation
+		// deadlines, and replicated master state for failover.
+		cfg.Ring.ReliableHops = true
+		cfg.Ring.HopAckTimeout = 150 * time.Millisecond
+		cfg.PubSub = pubsub.Config{
+			KeepAliveInterval: 100 * time.Millisecond,
+			KeepAliveTimeout:  300 * time.Millisecond,
+			AggTimeout:        2 * time.Second,
+		}
+		cfg.Replicas = 2
+		cfg.ReplicaCheckInterval = 300 * time.Millisecond
+		cfg.FailoverGrace = 500 * time.Millisecond
+	}
+	cluster := totoro.NewCluster(cfg)
 	ws := workload.MakeApps(workload.Params{
 		Task:             t,
 		Apps:             *apps,
@@ -62,16 +91,39 @@ func main() {
 		SamplesPerClient: *samples,
 		Seed:             *seed,
 	})
+	// Place workers explicitly so churn (if any) can exempt them: the demo
+	// is about infrastructure failures, not losing the training data.
+	placer := rand.New(rand.NewSource(*seed))
 	var appIDs []totoro.AppID
+	var exempt []transport.Addr
 	for _, a := range ws {
 		a.MaxRounds = *rounds
-		appIDs = append(appIDs, cluster.DeployOnRandomNodes(a))
+		perm := placer.Perm(len(cluster.Engines))
+		workers := perm[:len(a.Shards)]
+		appIDs = append(appIDs, cluster.Deploy(a, workers[0], workers))
+		for _, w := range workers {
+			exempt = append(exempt, cluster.Engines[w].Self().Addr)
+		}
 	}
 	fmt.Printf("deployment: %d nodes, fanout %d, %d apps x %d workers\n",
 		*nodes, *fanout, *apps, *clients)
 	for i, id := range appIDs {
-		fmt.Printf("  %-12s master=%s appId=%s…\n",
-			ws[i].Name, cluster.Master(id).Self().Addr, id.Short())
+		m := cluster.Master(id)
+		exempt = append(exempt, m.Self().Addr)
+		fmt.Printf("  %-12s master=%s appId=%s…\n", ws[i].Name, m.Self().Addr, id.Short())
+	}
+
+	var faults *simnet.Churn
+	if *churn > 0 {
+		cluster.StartMaintenance(500 * time.Millisecond)
+		faults = cluster.Net.StartChurn(simnet.ChurnConfig{
+			Seed:      *seed + 1,
+			FailEvery: *churn,
+			Downtime:  *churnDown,
+			Exempt:    exempt,
+		})
+		fmt.Printf("churn: one failure per %v on average, %v downtime (masters and workers exempt)\n",
+			*churn, *churnDown)
 	}
 
 	progress := cluster.Train(appIDs...)
@@ -80,6 +132,15 @@ func main() {
 		last := p.Points[len(p.Points)-1]
 		fmt.Printf("  %-12s rounds=%3d acc=%.3f target=%.3f reached=%v done=%.1fs\n",
 			ws[i].Name, last.Round, last.Accuracy, ws[i].TargetAccuracy, p.Reached, p.Done.Seconds())
+	}
+	if faults != nil {
+		faults.Stop()
+		repairs := 0
+		for _, e := range cluster.Engines {
+			repairs += e.PubSub().Stats.Repairs
+		}
+		fmt.Printf("\nchurn: %d failures injected, %d revived, %d still down; %d tree repairs\n",
+			faults.Fails, faults.Revives, faults.Down(), repairs)
 	}
 	var worst float64
 	for _, p := range progress {

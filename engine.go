@@ -38,6 +38,20 @@ type Options struct {
 	// is instrumentation: typically installed by the Cluster, it runs at
 	// round boundaries on the master and costs no simulated time.
 	Eval func(app AppID, params []float64) float64
+	// Replicas is how many leaf-set successors receive the master's
+	// replicated round state each round, enabling master failover.
+	// 0 (the default) disables replication: the replicas cost one model
+	// upload per successor per round, which deployments that measure
+	// bandwidth-bound behavior may not want to pay.
+	Replicas int
+	// ReplicaCheckInterval is how often a node holding a replica of a
+	// live application probes ring ownership of the app key to detect a
+	// dead master (0 = 500ms).
+	ReplicaCheckInterval time.Duration
+	// FailoverGrace is how long a freshly promoted master waits before
+	// resuming rounds, giving orphaned workers time to re-attach to the
+	// new tree root (0 = 1s).
+	FailoverGrace time.Duration
 }
 
 // Callbacks are the user-facing upcalls of Table 2 for custom
@@ -68,6 +82,7 @@ type masterState struct {
 	spec     AppSpec
 	global   []float64
 	round    int
+	epoch    int // mastership generation; bumped by every failover promotion
 	progress *workload.Progress
 	started  bool
 	done     bool
@@ -94,6 +109,16 @@ type Engine struct {
 	workers map[AppID]*workerState
 	cb      Callbacks
 
+	// replicas holds round state replicated to this node by masters whose
+	// leaf set it belongs to; checking tracks which replicas currently run
+	// an ownership-probe loop (see failover.go).
+	replicas map[AppID]*replicaMsg
+	checking map[AppID]bool
+
+	// Promotions counts how many times this node promoted itself to
+	// master from a replica (failover instrumentation).
+	Promotions int
+
 	// RoundHook, when set, observes every completed master round
 	// (experiment instrumentation).
 	RoundHook func(app AppID, round int, acc float64, now time.Duration)
@@ -113,11 +138,13 @@ func NewEngine(env transport.Env, self ring.Contact, opts Options) *Engine {
 		queue = &workload.ComputeQueue{}
 	}
 	e := &Engine{
-		env:     env,
-		opts:    opts,
-		queue:   queue,
-		masters: make(map[AppID]*masterState),
-		workers: make(map[AppID]*workerState),
+		env:      env,
+		opts:     opts,
+		queue:    queue,
+		masters:  make(map[AppID]*masterState),
+		workers:  make(map[AppID]*workerState),
+		replicas: make(map[AppID]*replicaMsg),
+		checking: make(map[AppID]bool),
 	}
 	e.ring = ring.New(env, self, opts.Ring)
 	e.ps = pubsub.New(env, e.ring, opts.PubSub)
@@ -147,6 +174,10 @@ func (e *Engine) SetCallbacks(cb Callbacks) { e.cb = cb }
 // Receive implements transport.Handler, dispatching overlay and forest
 // messages to their layers.
 func (e *Engine) Receive(from transport.Addr, msg any) {
+	if rep, ok := msg.(replicaMsg); ok {
+		e.handleReplica(rep)
+		return
+	}
 	if _, ok := msg.(ring.Message); ok {
 		e.ring.Receive(from, msg)
 		return
@@ -280,11 +311,23 @@ func (e *Engine) Deliver(d ring.Delivery) {
 	case announceMsg:
 		e.becomeMaster(p.Spec)
 	case startMsg:
+		e.maybePromote(p.App)
 		if m, ok := e.masters[p.App]; ok && !m.started && !m.done {
 			m.started = true
+			e.replicateRound(m)
 			e.beginRound(m)
 		}
 	default:
+		// Tree traffic arriving at the rendezvous node: if the previous
+		// master died and we hold its replica, this is the moment the ring
+		// has rerouted the app key to us — promote before the pub/sub layer
+		// claims the root, so the tree and the FL master move together.
+		switch q := d.Payload.(type) {
+		case pubsub.JoinMsg:
+			e.maybePromote(q.Topic)
+		case pubsub.PublishMsg:
+			e.maybePromote(q.Topic)
+		}
 		e.ps.Deliver(d)
 	}
 }
@@ -295,20 +338,25 @@ func (e *Engine) Forward(d *ring.Delivery, next ring.Contact) bool {
 }
 
 func (e *Engine) becomeMaster(spec AppSpec) {
+	if e.maybePromote(spec.ID) {
+		return // a re-announced app resumes from the replica, not a fresh start
+	}
 	if _, dup := e.masters[spec.ID]; dup {
 		return
 	}
-	e.masters[spec.ID] = &masterState{
+	m := &masterState{
 		spec:     spec,
 		global:   append([]float64(nil), spec.InitParams...),
 		progress: &workload.Progress{App: spec.Name},
 	}
+	e.masters[spec.ID] = m
 	// Claim the tree root so early subscribers splice below us, installing
 	// the owner's tree parameters (fanout cap, semi-sync round deadline).
 	e.ps.CreateWithConfig(spec.ID, pubsub.TreeConfig{
 		MaxFanout:  spec.TreeFanout,
 		AggTimeout: spec.RoundDeadline,
 	})
+	e.replicateRound(m)
 }
 
 func (e *Engine) beginRound(m *masterState) {
@@ -445,8 +493,12 @@ func (e *Engine) completeRound(m *masterState, round int, u updateAgg) {
 		m.done = true
 		m.progress.Done = now
 		m.progress.Reached = reached
+		// The final replica carries Done, which also stops the replica
+		// holders' ownership-probe loops.
+		e.replicateRound(m)
 		return
 	}
+	e.replicateRound(m)
 	e.beginRound(m)
 }
 

@@ -1,21 +1,26 @@
 // Churn: training through node failures (paper §4.5, §7.5).
 //
-// An FL application trains while 10% of its tree members crash mid-run.
-// Keep-alive heartbeats detect the failed parents; orphaned children
-// re-route their JOINs toward the AppId and splice back into the tree;
-// aggregation timeouts keep rounds flowing while repairs happen. Training
-// finishes despite the churn.
+// An FL application trains while a seeded Poisson churn process keeps
+// failing (and later reviving) nodes around it. Keep-alive heartbeats
+// detect failed parents; orphaned children re-route their JOINs toward
+// the AppId and splice back into the tree; aggregation timeouts keep
+// rounds flowing while repairs happen. Training finishes despite the
+// churn — and the whole fault schedule is deterministic, so every run of
+// this example prints the same trajectory.
 //
 //	go run ./examples/churn
 package main
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	totoro "totoro"
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
+	"totoro/internal/simnet"
+	"totoro/internal/transport"
 	"totoro/internal/workload"
 )
 
@@ -39,32 +44,34 @@ func main() {
 	app.TargetAccuracy = 0 // run the full schedule
 	app.MaxRounds = 14
 
-	id := cluster.DeployOnRandomNodes(app)
+	// Place the workers explicitly so the churn process can be told to spare
+	// them: the point here is tree repair around failures, not data loss.
+	perm := rand.New(rand.NewSource(31)).Perm(len(cluster.Engines))
+	workers := perm[:len(app.Shards)]
+	id := cluster.Deploy(app, workers[0], workers)
 	master := cluster.Master(id)
-	fmt.Printf("master: %s, 20 workers subscribed\n", master.Self().Addr)
+	fmt.Printf("master: %s, %d workers subscribed\n", master.Self().Addr, len(workers))
 
-	// Start training, run the first seconds, then kill 10% of the tree.
-	cluster.Engines[0].StartTraining(id)
-	cluster.Net.Run(cluster.Net.Now() + 3*time.Second)
-
-	killed := 0
-	for _, e := range cluster.Engines {
-		if killed >= 2 {
-			break
-		}
-		info, ok := e.PubSub().TreeInfo(id)
-		if !ok || !info.Attached || info.IsRoot || e == master {
-			continue
-		}
-		if len(info.Children) > 0 { // interior nodes hurt the most
-			fmt.Printf("t=%.1fs: failing interior node %s (had %d children)\n",
-				cluster.Net.Now().Seconds(), e.Self().Addr, len(info.Children))
-			cluster.Net.Fail(e.Self().Addr)
-			killed++
-		}
+	// Background churn: on average one failure every 400ms of virtual time,
+	// each victim down for 5s. Master and workers are exempt — everything
+	// else (including the tree's interior forwarders) is fair game.
+	exempt := []transport.Addr{master.Self().Addr}
+	for _, w := range workers {
+		exempt = append(exempt, cluster.Engines[w].Self().Addr)
 	}
+	churn := cluster.Net.StartChurn(simnet.ChurnConfig{
+		Seed:      12,
+		FailEvery: 400 * time.Millisecond,
+		Downtime:  5 * time.Second,
+		Exempt:    exempt,
+		OnFail: func(a transport.Addr, now time.Duration) {
+			fmt.Printf("t=%5.1fs: node %s failed\n", now.Seconds(), a)
+		},
+	})
+	defer churn.Stop()
 
-	// Let keep-alive detection, re-joins, and the remaining rounds play out.
+	// Train to completion while the churn process runs underneath.
+	cluster.Engines[workers[0]].StartTraining(id)
 	cluster.StepUntilDone(cluster.Net.Now()+10*time.Minute, id)
 
 	p := cluster.Progress(id)
@@ -73,7 +80,8 @@ func main() {
 		repairs += e.PubSub().Stats.Repairs
 	}
 	last := p.Points[len(p.Points)-1]
-	fmt.Printf("\nsurvived: %d tree repairs triggered by keep-alive timeouts\n", repairs)
+	fmt.Printf("\nchurn injected %d failures (%d revived); survivors ran %d tree repairs\n",
+		churn.Fails, churn.Revives, repairs)
 	fmt.Printf("training completed round %d with accuracy %.3f at t=%.1fs\n",
 		last.Round, last.Accuracy, p.Done.Seconds())
 	for _, pt := range p.Points {

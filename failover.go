@@ -1,0 +1,203 @@
+package totoro
+
+import (
+	"time"
+
+	"totoro/internal/ids"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+	"totoro/internal/workload"
+)
+
+// replicaMsg is the master's replicated round state: everything a leaf-set
+// successor needs to take over an application if the master dies. It is
+// sent directly (not routed) to the k leaf-set contacts closest to the app
+// key — exactly the nodes the ring would promote to owner of the key after
+// the master's failure, so whoever inherits the key also holds the state.
+//
+// Epoch orders successive masterships: each promotion increments it, so a
+// revived old master can tell that it was superseded (a replica with a
+// higher epoch than its own demotes it back to replica holder).
+type replicaMsg struct {
+	Spec   AppSpec
+	Master ring.Contact // sender, for same-epoch tie-breaks
+	Epoch  int
+	Round  int // last completed round
+	Global []float64
+	Points []workload.AccuracyPoint
+
+	Started bool
+	Done    bool
+	Reached bool
+	DoneAt  time.Duration
+}
+
+func (r replicaMsg) WireSize() int {
+	return 64 + r.Spec.WireSize() + 8*len(r.Global) + 32*len(r.Points)
+}
+
+// newerReplica reports whether a supersedes b.
+func newerReplica(a, b replicaMsg) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch > b.Epoch
+	}
+	if a.Round != b.Round {
+		return a.Round > b.Round
+	}
+	if a.Done != b.Done {
+		return a.Done
+	}
+	if a.Started != b.Started {
+		return a.Started
+	}
+	return true // same version: accept the fresher copy
+}
+
+// replicateRound ships the master's current round state to its leaf-set
+// successors. Called after becoming master, on training start, and after
+// every completed round — so a replica is never more than one round stale.
+func (e *Engine) replicateRound(m *masterState) {
+	k := e.opts.Replicas
+	if k <= 0 {
+		return // replication disabled (the default)
+	}
+	rep := replicaMsg{
+		Spec:    m.spec,
+		Master:  e.Self(),
+		Epoch:   m.epoch,
+		Round:   m.round,
+		Global:  append([]float64(nil), m.global...),
+		Points:  append([]workload.AccuracyPoint(nil), m.progress.Points...),
+		Started: m.started,
+		Done:    m.done,
+		Reached: m.progress.Reached,
+		DoneAt:  m.progress.Done,
+	}
+	for _, c := range e.ring.ClosestLeaves(m.spec.ID, k) {
+		e.env.Send(c.Addr, rep)
+	}
+}
+
+// handleReplica stores (or refreshes) a replica, demoting this node first
+// if the replica proves a higher-epoch master exists elsewhere.
+func (e *Engine) handleReplica(rep replicaMsg) {
+	app := rep.Spec.ID
+	if m, ok := e.masters[app]; ok {
+		switch {
+		case rep.Epoch < m.epoch:
+			return // stale replica of a mastership we already superseded
+		case rep.Epoch == m.epoch:
+			if rep.Master.Addr == e.Self().Addr {
+				return // echo of our own replication
+			}
+			// Two masters promoted from the same replica (inconsistent ring
+			// views). Deterministic tie-break: the one closer to the app key
+			// is the rightful rendezvous node; the other steps down.
+			if ids.Closer(app, e.Self().ID, rep.Master.ID) {
+				return
+			}
+			delete(e.masters, app)
+		default:
+			// A higher-epoch master exists (we are a revived old master or
+			// lost an epoch race): step down, keep the state as a replica.
+			delete(e.masters, app)
+		}
+	}
+	if cur, ok := e.replicas[app]; ok && !newerReplica(rep, *cur) {
+		return
+	}
+	e.replicas[app] = &rep
+	if rep.Started && !rep.Done {
+		e.ensureReplicaCheck(app)
+	}
+}
+
+// ensureReplicaCheck runs a periodic ownership probe while this node holds
+// a replica of a live (started, unfinished) application: if the ring now
+// routes the app key to us — the master died and was scrubbed from our
+// routing state — we promote. The loop stops as soon as the replica is
+// gone, finished, or we became master, so it never keeps the event queue
+// busy after training ends (replicas of finished apps carry Done).
+func (e *Engine) ensureReplicaCheck(app AppID) {
+	if e.checking[app] {
+		return
+	}
+	interval := e.opts.ReplicaCheckInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	e.checking[app] = true
+	var tick func()
+	tick = func() {
+		rep, ok := e.replicas[app]
+		if !ok || rep.Done || e.IsMaster(app) {
+			delete(e.checking, app)
+			return
+		}
+		if e.maybePromote(app) {
+			delete(e.checking, app)
+			return
+		}
+		e.env.After(interval, tick)
+	}
+	e.env.After(interval, tick)
+}
+
+// maybePromote makes this node the application's master from its stored
+// replica — but only if the ring says this node now owns the app key
+// (NextHop returns no hop). It reclaims the tree root, resets any stale
+// aggregation state left from this node's life as an interior aggregator,
+// re-replicates at a higher epoch (demoting a revived predecessor), and
+// resumes rounds after a grace period that lets orphaned workers re-attach.
+func (e *Engine) maybePromote(app AppID) bool {
+	rep, ok := e.replicas[app]
+	if !ok {
+		return false
+	}
+	if _, already := e.masters[app]; already {
+		return false
+	}
+	if !e.ring.NextHop(app).IsZero() {
+		return false // some other node still owns the key
+	}
+	delete(e.replicas, app)
+	m := &masterState{
+		spec:    rep.Spec,
+		global:  append([]float64(nil), rep.Global...),
+		round:   rep.Round,
+		epoch:   rep.Epoch + 1,
+		started: rep.Started,
+		done:    rep.Done,
+		progress: &workload.Progress{
+			App:     rep.Spec.Name,
+			Points:  append([]workload.AccuracyPoint(nil), rep.Points...),
+			Done:    rep.DoneAt,
+			Reached: rep.Reached,
+		},
+	}
+	e.masters[app] = m
+	e.Promotions++
+	e.ps.CreateWithConfig(app, pubsub.TreeConfig{
+		MaxFanout:  m.spec.TreeFanout,
+		AggTimeout: m.spec.RoundDeadline,
+	})
+	// As an interior node this engine may hold aggRounds already marked
+	// flushed; a re-announced round must aggregate fresh.
+	e.ps.ResetRounds(app)
+	e.replicateRound(m)
+	if m.started && !m.done {
+		grace := e.opts.FailoverGrace
+		if grace <= 0 {
+			grace = time.Second
+		}
+		round := m.round
+		e.env.After(grace, func() {
+			// Resume only if nothing else moved the app meanwhile (we could
+			// have been demoted, or a round could already be in flight).
+			if cur, ok := e.masters[app]; ok && cur == m && !m.done && m.round == round {
+				e.beginRound(m)
+			}
+		})
+	}
+	return true
+}

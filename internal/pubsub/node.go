@@ -736,6 +736,25 @@ func (n *Node) repairParent(st *topicState) {
 	n.ring.Route(st.topic, JoinMsg{Topic: st.topic, Subscriber: n.ring.Self()})
 }
 
+// ResetRounds discards all aggregation-round state for topic, cancelling
+// any pending round timers. A master promoted through failover calls this:
+// from its life as an interior node the promoted root may hold aggRounds
+// already marked flushed, and a re-announced round must start aggregation
+// fresh instead of treating every contribution as a post-flush straggler.
+func (n *Node) ResetRounds(topic ids.ID) {
+	st, ok := n.topics[topic]
+	if !ok {
+		return
+	}
+	for _, r := range st.rounds {
+		if r.cancel != nil {
+			r.cancel()
+		}
+	}
+	st.rounds = make(map[int]*aggRound)
+	st.missCount = make(map[transport.Addr]int)
+}
+
 // ForceRepair triggers parent repair immediately (experiment driver hook).
 func (n *Node) ForceRepair(topic ids.ID) {
 	if st, ok := n.topics[topic]; ok && !st.parent.IsZero() {

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"sort"
 	"time"
 
 	"totoro/internal/ids"
@@ -301,6 +302,25 @@ func (n *Node) Leafset() []Contact {
 		}
 	}
 	return out
+}
+
+// ClosestLeaves returns up to k leaf-set contacts ordered by numeric
+// closeness to key, ties broken by address so the order is deterministic.
+// If this node owns key and then fails, the ring re-routes the key to one
+// of these contacts — which is what makes them the natural replica set for
+// per-key state (the failover layer uses exactly that).
+func (n *Node) ClosestLeaves(key ids.ID, k int) []Contact {
+	ls := n.Leafset()
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].ID == ls[j].ID {
+			return ls[i].Addr < ls[j].Addr
+		}
+		return ids.Closer(key, ls[i].ID, ls[j].ID)
+	})
+	if k >= 0 && k < len(ls) {
+		ls = ls[:k]
+	}
+	return ls
 }
 
 // Neighbors returns the physical-proximity neighborhood set.

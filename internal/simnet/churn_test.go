@@ -1,0 +1,129 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"totoro/internal/transport"
+)
+
+type nopHandler struct{}
+
+func (nopHandler) Receive(transport.Addr, any) {}
+
+func churnNet(n int, seed int64) *Network {
+	net := New(Config{Seed: seed})
+	for i := 0; i < n; i++ {
+		net.AddNode(transport.Addr(fmt.Sprintf("n%d", i)), func(transport.Env) transport.Handler {
+			return nopHandler{}
+		})
+	}
+	return net
+}
+
+// churnTrace runs a churn process for a fixed window and returns the
+// ordered (event, addr, time) trace.
+func churnTrace(seed int64, exempt []transport.Addr) []string {
+	net := churnNet(40, 7)
+	var trace []string
+	ch := net.StartChurn(ChurnConfig{
+		Seed:      seed,
+		FailEvery: 200 * time.Millisecond,
+		Downtime:  time.Second,
+		Exempt:    exempt,
+		OnFail: func(a transport.Addr, now time.Duration) {
+			trace = append(trace, fmt.Sprintf("fail %s @%v", a, now))
+		},
+		OnRevive: func(a transport.Addr, now time.Duration) {
+			trace = append(trace, fmt.Sprintf("revive %s @%v", a, now))
+		},
+	})
+	net.Run(10 * time.Second)
+	ch.Stop()
+	return trace
+}
+
+func TestChurnIsDeterministic(t *testing.T) {
+	a := churnTrace(3, nil)
+	b := churnTrace(3, nil)
+	if len(a) == 0 {
+		t.Fatal("no churn events in 10s at 200ms mean interval")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// A different seed must give a different schedule.
+	c := churnTrace(4, nil)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different churn seeds produced identical traces")
+	}
+}
+
+func TestChurnRespectsExemptSet(t *testing.T) {
+	exempt := []transport.Addr{"n0", "n1", "n2"}
+	trace := churnTrace(5, exempt)
+	if len(trace) == 0 {
+		t.Fatal("no churn events recorded")
+	}
+	for _, ev := range trace {
+		for _, a := range exempt {
+			if strings.HasPrefix(ev, fmt.Sprintf("fail %s ", a)) {
+				t.Fatalf("exempt node churned: %q", ev)
+			}
+		}
+	}
+}
+
+func TestChurnRevivesAndStops(t *testing.T) {
+	net := churnNet(30, 11)
+	ch := net.StartChurn(ChurnConfig{
+		Seed:      1,
+		FailEvery: 100 * time.Millisecond,
+		Downtime:  300 * time.Millisecond,
+	})
+	net.Run(5 * time.Second)
+	if ch.Fails == 0 || ch.Revives == 0 {
+		t.Fatalf("fails=%d revives=%d want both > 0", ch.Fails, ch.Revives)
+	}
+	ch.Stop()
+	fails := ch.Fails
+	net.Run(net.Now() + 5*time.Second)
+	if ch.Fails != fails {
+		t.Fatalf("failures injected after Stop: %d -> %d", fails, ch.Fails)
+	}
+	// The process must terminate: once stopped, its timers stop chaining.
+	net.RunUntilIdle()
+}
+
+func TestChurnNeverKillsEveryone(t *testing.T) {
+	net := churnNet(10, 13)
+	ch := net.StartChurn(ChurnConfig{
+		Seed:      2,
+		FailEvery: 10 * time.Millisecond, // brutal: no revive
+		Exempt:    []transport.Addr{"n3"},
+	})
+	net.Run(20 * time.Second)
+	ch.Stop()
+	if !net.Alive("n3") {
+		t.Fatal("exempt node was killed")
+	}
+	if ch.Down() != 9 {
+		t.Fatalf("down=%d want 9 (everyone but the exempt node)", ch.Down())
+	}
+}

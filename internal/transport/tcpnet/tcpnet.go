@@ -6,15 +6,23 @@
 // It exists so that the exact same Engine that runs in simulation can run
 // as a live process (cmd/totoro-node): Join a bootstrap peer, build trees,
 // broadcast, and aggregate across machines.
+//
+// Outbound delivery is resilient: each peer has a dedicated writer with a
+// bounded send queue. A broken connection is closed and redialed with
+// exponential backoff plus jitter, and queued frames drain after the
+// reconnect instead of being dropped on the first write error. Only when a
+// frame exhausts its retry budget is the peer abandoned (to be freshly
+// redialed by the next send) — edge churn is the common case, not the
+// exception.
 package tcpnet
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"totoro/internal/transport"
@@ -27,10 +35,60 @@ type frame struct {
 	Msg  any
 }
 
-// Node is one live endpoint: a listener plus outbound connections and a
+// Config tunes the transport's resilience behavior. The zero value uses
+// the defaults documented per field.
+type Config struct {
+	// DialTimeout bounds one connection attempt (default 3s).
+	DialTimeout time.Duration
+	// MaxRetries is how many consecutive failures (failed dials or failed
+	// writes) one frame survives before the peer is abandoned (default 5).
+	MaxRetries int
+	// BaseBackoff is the first reconnect delay; it doubles per consecutive
+	// failure (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the reconnect delay (default 2s).
+	MaxBackoff time.Duration
+	// QueueLen is the per-peer send queue depth; sends beyond it are
+	// dropped and counted (default 256).
+	QueueLen int
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 5
+	}
+	if c.BaseBackoff == 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 256
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// peer is one outbound destination: a bounded frame queue drained by a
+// dedicated writer goroutine that owns the destination's connection.
+type peer struct {
+	queue chan frame
+	gone  chan struct{} // closed when the writer abandons the peer
+}
+
+// Node is one live endpoint: a listener plus outbound writers and a
 // single-threaded event loop.
 type Node struct {
 	addr     transport.Addr
+	cfg      Config
 	listener net.Listener
 	handler  transport.Handler
 	start    time.Time
@@ -39,21 +97,30 @@ type Node struct {
 	events chan func()
 	done   chan struct{}
 
-	mu    sync.Mutex
-	conns map[transport.Addr]*outConn
+	mu     sync.Mutex
+	peers  map[transport.Addr]*peer
+	seq    int64 // seeds per-writer jitter rngs
+	rconns map[net.Conn]bool
+	closed bool
+
+	// Reconnects counts successful redials of previously broken
+	// connections; DroppedSends counts frames lost to full queues or an
+	// exhausted retry budget.
+	Reconnects   atomic.Int64
+	DroppedSends atomic.Int64
 
 	closeOnce sync.Once
 }
 
-type outConn struct {
-	enc *gob.Encoder
-	c   net.Conn
+// Listen starts a node on the given TCP address ("host:port") with default
+// resilience settings. build receives the node's Env and returns its
+// Handler (typically a totoro.Engine). The returned Node runs until Close.
+func Listen(addr string, build func(transport.Env) transport.Handler) (*Node, error) {
+	return ListenConfig(addr, Config{}, build)
 }
 
-// Listen starts a node on the given TCP address ("host:port"). build
-// receives the node's Env and returns its Handler (typically a
-// totoro.Engine). The returned Node runs until Close.
-func Listen(addr string, build func(transport.Env) transport.Handler) (*Node, error) {
+// ListenConfig is Listen with explicit transport tuning.
+func ListenConfig(addr string, cfg Config, build func(transport.Env) transport.Handler) (*Node, error) {
 	wire.Register()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -61,12 +128,14 @@ func Listen(addr string, build func(transport.Env) transport.Handler) (*Node, er
 	}
 	n := &Node{
 		addr:     transport.Addr(l.Addr().String()),
+		cfg:      cfg.withDefaults(),
 		listener: l,
 		start:    time.Now(),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 		events:   make(chan func(), 1024),
 		done:     make(chan struct{}),
-		conns:    make(map[transport.Addr]*outConn),
+		peers:    make(map[transport.Addr]*peer),
+		rconns:   make(map[net.Conn]bool),
 	}
 	n.handler = build(n.env())
 	go n.loop()
@@ -77,14 +146,18 @@ func Listen(addr string, build func(transport.Env) transport.Handler) (*Node, er
 // Addr returns the node's bound address.
 func (n *Node) Addr() transport.Addr { return n.addr }
 
-// Close shuts the node down.
+// Close shuts the node down. Writer goroutines observe done and close
+// their connections on the way out; accepted inbound connections are
+// closed here so remote senders see the failure instead of feeding a dead
+// event loop.
 func (n *Node) Close() {
 	n.closeOnce.Do(func() {
 		close(n.done)
 		n.listener.Close()
 		n.mu.Lock()
-		for _, oc := range n.conns {
-			oc.c.Close()
+		n.closed = true
+		for c := range n.rconns {
+			c.Close()
 		}
 		n.mu.Unlock()
 	})
@@ -124,12 +197,25 @@ func (n *Node) accept() {
 		if err != nil {
 			return
 		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.rconns[c] = true
+		n.mu.Unlock()
 		go n.readLoop(c)
 	}
 }
 
 func (n *Node) readLoop(c net.Conn) {
-	defer c.Close()
+	defer func() {
+		n.mu.Lock()
+		delete(n.rconns, c)
+		n.mu.Unlock()
+		c.Close()
+	}()
 	dec := gob.NewDecoder(c)
 	for {
 		var f frame
@@ -154,14 +240,7 @@ func (e *tcpEnv) Now() time.Duration   { return time.Since(e.n.start) }
 func (e *tcpEnv) Rand() *rand.Rand     { return e.n.rng }
 
 func (e *tcpEnv) Send(to transport.Addr, msg any) {
-	n := e.n
-	go func() {
-		if err := n.send(to, msg); err != nil {
-			// Connection-level failures surface to protocols as silence,
-			// the same failure model the simulator presents.
-			n.dropConn(to)
-		}
-	}()
+	e.n.enqueue(to, frame{From: e.n.addr, Msg: msg})
 }
 
 func (e *tcpEnv) After(d time.Duration, fn func()) (cancel func()) {
@@ -185,47 +264,142 @@ func (e *tcpEnv) After(d time.Duration, fn func()) (cancel func()) {
 	}
 }
 
-func (n *Node) send(to transport.Addr, msg any) error {
-	oc, err := n.conn(to)
-	if err != nil {
-		return err
+// enqueue hands a frame to the destination's writer, creating the peer
+// (and its writer goroutine) on first use or after an abandonment. A full
+// queue drops the frame: protocols see loss, never backpressure into the
+// event loop.
+func (n *Node) enqueue(to transport.Addr, f frame) {
+	for {
+		n.mu.Lock()
+		p, ok := n.peers[to]
+		if !ok {
+			p = &peer{
+				queue: make(chan frame, n.cfg.QueueLen),
+				gone:  make(chan struct{}),
+			}
+			n.peers[to] = p
+			n.seq++
+			seed := n.seq
+			go n.writeLoop(to, p, seed)
+		}
+		n.mu.Unlock()
+		select {
+		case p.queue <- f:
+			return
+		case <-p.gone:
+			// The writer abandoned this peer while we held it; a fresh
+			// peer (with a fresh retry budget) replaces it.
+			continue
+		default:
+			n.DroppedSends.Add(1)
+			return
+		}
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if cur, ok := n.conns[to]; !ok || cur != oc {
-		return errors.New("tcpnet: connection replaced")
-	}
-	return oc.enc.Encode(frame{From: n.addr, Msg: msg})
 }
 
-func (n *Node) conn(to transport.Addr) (*outConn, error) {
-	n.mu.Lock()
-	if oc, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return oc, nil
+// writeLoop owns one destination: it drains the peer's queue, dialing and
+// redialing as needed. One frame is retried up to MaxRetries consecutive
+// failures with exponential backoff before the peer is abandoned; any
+// success resets the budget.
+func (n *Node) writeLoop(to transport.Addr, p *peer, seed int64) {
+	var conn net.Conn
+	var enc *gob.Encoder
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed ^ time.Now().UnixNano()))
+	hadConn := false
+	fails := 0
+	for {
+		var f frame
+		select {
+		case f = <-p.queue:
+		case <-n.done:
+			return
+		}
+		for {
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", string(to), n.cfg.DialTimeout)
+				if err != nil {
+					fails++
+					if fails > n.cfg.MaxRetries {
+						n.abandon(to, p, 1)
+						return
+					}
+					if !n.sleepBackoff(rng, fails) {
+						return
+					}
+					continue
+				}
+				conn = c
+				enc = gob.NewEncoder(conn)
+				if hadConn {
+					n.Reconnects.Add(1)
+				}
+				hadConn = true
+			}
+			conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+			if err := enc.Encode(f); err == nil {
+				fails = 0
+				break
+			}
+			// A failed write leaves the gob stream mid-frame: the encoder
+			// is poisoned and the connection must go with it. Close both
+			// and retry this frame on a fresh dial.
+			conn.Close()
+			conn, enc = nil, nil
+			fails++
+			if fails > n.cfg.MaxRetries {
+				n.abandon(to, p, 1)
+				return
+			}
+			if !n.sleepBackoff(rng, fails) {
+				return
+			}
+		}
 	}
-	n.mu.Unlock()
-	c, err := net.DialTimeout("tcp", string(to), 3*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	oc := &outConn{enc: gob.NewEncoder(c), c: c}
-	n.mu.Lock()
-	if cur, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		c.Close()
-		return cur, nil
-	}
-	n.conns[to] = oc
-	n.mu.Unlock()
-	return oc, nil
 }
 
-func (n *Node) dropConn(to transport.Addr) {
+// abandon retires a peer whose retry budget ran out: it is removed from
+// the map (so a later send starts over with a fresh writer) and its queued
+// frames are counted as dropped. inFlight is the frame the writer was
+// holding when it gave up.
+func (n *Node) abandon(to transport.Addr, p *peer, inFlight int) {
 	n.mu.Lock()
-	if oc, ok := n.conns[to]; ok {
-		oc.c.Close()
-		delete(n.conns, to)
+	if cur, ok := n.peers[to]; ok && cur == p {
+		delete(n.peers, to)
 	}
 	n.mu.Unlock()
+	close(p.gone)
+	dropped := int64(inFlight)
+	for {
+		select {
+		case <-p.queue:
+			dropped++
+		default:
+			n.DroppedSends.Add(dropped)
+			return
+		}
+	}
+}
+
+// sleepBackoff waits the exponential-backoff delay for the given failure
+// count, with jitter in [d/2, d). It reports false if the node closed
+// while waiting.
+func (n *Node) sleepBackoff(rng *rand.Rand, fails int) bool {
+	d := n.cfg.BaseBackoff << uint(fails-1)
+	if d <= 0 || d > n.cfg.MaxBackoff {
+		d = n.cfg.MaxBackoff
+	}
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-n.done:
+		return false
+	}
 }

@@ -84,6 +84,112 @@ func TestSendToDeadPeerIsSilent(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 }
 
+// startNodeConfig is startNode with fast-retry transport tuning so the
+// resilience tests finish quickly.
+func startNodeConfig(t *testing.T, cfg Config) (*Node, *echoHandler) {
+	t.Helper()
+	h := &echoHandler{}
+	n, err := ListenConfig("127.0.0.1:0", cfg, func(e transport.Env) transport.Handler {
+		h.env = e
+		return h
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n, h
+}
+
+// TestReconnectDrainsQueuedFrames kills the receiver, keeps sending, then
+// restarts a listener on the same port: the sender must redial and deliver
+// later frames on the fresh connection rather than staying wedged on the
+// poisoned encoder of the dead one.
+func TestReconnectDrainsQueuedFrames(t *testing.T) {
+	cfg := Config{
+		DialTimeout: time.Second,
+		MaxRetries:  20,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+	}
+	a, ha := startNodeConfig(t, cfg)
+	b, hb := startNodeConfig(t, cfg)
+	port := b.Addr()
+
+	a.Do(func() { ha.env.Send(port, "ping") })
+	waitFor(t, func() bool { return hb.seen.Load() >= 1 })
+
+	b.Close()
+	time.Sleep(20 * time.Millisecond)
+	// Poke the dead connection: the write itself may be silently swallowed
+	// by the kernel (a FIN is not a write error), but it provokes the RST
+	// that makes every later write fail fast.
+	a.Do(func() { ha.env.Send(port, "probe") })
+	time.Sleep(50 * time.Millisecond)
+	// Frames sent while the receiver is down queue and retry instead of
+	// being dropped on the write error.
+	for i := 0; i < 5; i++ {
+		a.Do(func() { ha.env.Send(port, "while-down") })
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	h2 := &echoHandler{}
+	b2, err := ListenConfig(string(port), cfg, func(e transport.Env) transport.Handler {
+		h2.env = e
+		return h2
+	})
+	if err != nil {
+		t.Fatalf("could not rebind %s: %v", port, err)
+	}
+	t.Cleanup(b2.Close)
+
+	// Queued while-down frames drain on the reconnect, and fresh frames
+	// flow on the same recovered connection.
+	waitFor(t, func() bool { return h2.seen.Load() >= 1 })
+	a.Do(func() { ha.env.Send(port, "after-reconnect") })
+	waitFor(t, func() bool { return h2.seen.Load() >= 2 })
+	if a.Reconnects.Load() < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1", a.Reconnects.Load())
+	}
+}
+
+// TestRetryBudgetAbandonsPeerThenRecovers sends to a dead address until the
+// retry budget runs out (frames counted dropped, peer forgotten), then
+// brings the address up and checks a fresh send gets a fresh writer.
+func TestRetryBudgetAbandonsPeerThenRecovers(t *testing.T) {
+	cfg := Config{
+		DialTimeout: 200 * time.Millisecond,
+		MaxRetries:  2,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	}
+	a, ha := startNodeConfig(t, cfg)
+	b, _ := startNodeConfig(t, cfg)
+	port := b.Addr()
+	b.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	a.Do(func() { ha.env.Send(port, "doomed") })
+	waitFor(t, func() bool { return a.DroppedSends.Load() >= 1 })
+	a.mu.Lock()
+	_, still := a.peers[port]
+	a.mu.Unlock()
+	if still {
+		t.Fatal("abandoned peer still cached")
+	}
+
+	h2 := &echoHandler{}
+	b2, err := ListenConfig(string(port), cfg, func(e transport.Env) transport.Handler {
+		h2.env = e
+		return h2
+	})
+	if err != nil {
+		t.Fatalf("could not rebind %s: %v", port, err)
+	}
+	t.Cleanup(b2.Close)
+	a.Do(func() { ha.env.Send(port, "second chance") })
+	waitFor(t, func() bool { return h2.seen.Load() >= 1 })
+}
+
 func TestNowMonotone(t *testing.T) {
 	a, ha := startNode(t)
 	var t1, t2 time.Duration

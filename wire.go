@@ -18,4 +18,5 @@ func RegisterWire() {
 	gob.Register(startMsg{})
 	gob.Register(roundStart{})
 	gob.Register(updateAgg{})
+	gob.Register(replicaMsg{})
 }
