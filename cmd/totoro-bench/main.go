@@ -148,8 +148,8 @@ func run(id string, o experiments.Options) bool {
 	case "fig12":
 		fmt.Println("=== Fig 12: recovery time with 5% simultaneous failures per tree ===")
 		for _, r := range experiments.Fig12Recovery(o) {
-			fmt.Printf("trees %3d  failed %3d  recovery %8.1fms\n",
-				r.Trees, r.FailedNodes, r.RecoveryMs)
+			fmt.Printf("trees %3d  failed %3d  recovery %8.1fms  repair-joins %4d\n",
+				r.Trees, r.FailedNodes, r.RecoveryMs, r.RepairJoins)
 		}
 	case "fig13":
 		fmt.Println("=== Fig 13: CPU and memory overhead, Totoro vs OpenFL-like ===")

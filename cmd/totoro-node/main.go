@@ -25,6 +25,7 @@ import (
 
 	totoro "totoro"
 	"totoro/internal/ids"
+	"totoro/internal/obs"
 	"totoro/internal/ring"
 	"totoro/internal/transport"
 	"totoro/internal/transport/tcpnet"
@@ -38,6 +39,7 @@ func main() {
 		topic     = flag.String("topic", "demo-app", "application topic to subscribe to")
 		publish   = flag.String("publish", "", "optional message to broadcast after joining")
 		agg       = flag.Int("aggregate", 0, "optional value to contribute to aggregation round 1")
+		metrics   = flag.String("metrics", "", "HTTP address serving /metrics, /metrics/text, /metrics/trace (empty = off)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,15 @@ func main() {
 	}
 	defer node.Close()
 	log.Printf("node %s up, id %s…", node.Addr(), nodeID.Short())
+
+	if *metrics != "" {
+		bound, stop, err := obs.StartServer(*metrics, obs.RegistryHandler(node.Metrics()))
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		defer stop()
+		log.Printf("telemetry at http://%s/metrics", bound)
+	}
 
 	if *bootstrap != "" {
 		node.Do(func() { engine.Join(transport.Addr(*bootstrap)) })

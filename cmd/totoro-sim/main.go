@@ -38,6 +38,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		churn     = flag.Duration("churn", 0, "mean time between node failures (0 = no churn)")
 		churnDown = flag.Duration("churn-down", 10*time.Second, "downtime before a failed node revives")
+		metrics   = flag.Bool("metrics", false, "print the merged fleet telemetry snapshot after the run")
 	)
 	flag.Parse()
 
@@ -137,7 +138,7 @@ func main() {
 		faults.Stop()
 		repairs := 0
 		for _, e := range cluster.Engines {
-			repairs += e.PubSub().Stats.Repairs
+			repairs += int(e.Metrics().Counter("pubsub.repairs").Value())
 		}
 		fmt.Printf("\nchurn: %d failures injected, %d revived, %d still down; %d tree repairs\n",
 			faults.Fails, faults.Revives, faults.Down(), repairs)
@@ -149,4 +150,11 @@ func main() {
 		}
 	}
 	fmt.Printf("\ntotal virtual time to train all %d apps: %.1fs\n", *apps, worst)
+
+	if *metrics {
+		// The same registry a live node serves at /metrics, merged across the
+		// whole simulated fleet; deterministic for a given seed.
+		fmt.Println("\nfleet telemetry snapshot:")
+		fmt.Print(cluster.Net.MergedSnapshot().String())
+	}
 }

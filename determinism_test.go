@@ -41,6 +41,31 @@ func TestEngineRunsAreBitIdentical(t *testing.T) {
 	}
 }
 
+// TestMetricsSnapshotsAreBitIdentical extends the determinism guarantee to
+// the telemetry substrate: two same-seed runs must produce bit-identical
+// merged metrics snapshots — every counter, gauge, histogram bucket, and
+// their deterministic text rendering. This is what makes the registry
+// usable as a regression oracle: a telemetry diff between two runs of the
+// same seed is always a behavior change, never noise.
+func TestMetricsSnapshotsAreBitIdentical(t *testing.T) {
+	run := func() string {
+		c := testCluster(50, 64)
+		app := testApps(1, 64)[0]
+		app.MaxRounds = 3
+		app.TargetAccuracy = 0.999
+		id := c.DeployOnRandomNodes(app)
+		c.Train(id)
+		return c.Net.MergedSnapshot().String()
+	}
+	a, b := run(), run()
+	if a == "" {
+		t.Fatal("empty metrics snapshot")
+	}
+	if a != b {
+		t.Fatalf("same-seed metrics snapshots differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
 // TestBaselineRunsAreBitIdentical does the same for the centralized
 // baseline engine, whose clients also train on the pool.
 func TestBaselineRunsAreBitIdentical(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"totoro/internal/fl"
 	"totoro/internal/ids"
 	"totoro/internal/ml"
+	"totoro/internal/obs"
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
 	"totoro/internal/transport"
@@ -115,9 +116,11 @@ type Engine struct {
 	replicas map[AppID]*replicaMsg
 	checking map[AppID]bool
 
-	// Promotions counts how many times this node promoted itself to
-	// master from a replica (failover instrumentation).
-	Promotions int
+	// Cached handles into env.Metrics(): engine.promotions counts
+	// replica→master failover promotions, engine.rounds counts completed
+	// master rounds.
+	ctrPromotions *obs.Counter
+	ctrRounds     *obs.Counter
 
 	// RoundHook, when set, observes every completed master round
 	// (experiment instrumentation).
@@ -146,6 +149,8 @@ func NewEngine(env transport.Env, self ring.Contact, opts Options) *Engine {
 		replicas: make(map[AppID]*replicaMsg),
 		checking: make(map[AppID]bool),
 	}
+	e.ctrPromotions = env.Metrics().Counter("engine.promotions")
+	e.ctrRounds = env.Metrics().Counter("engine.rounds")
 	e.ring = ring.New(env, self, opts.Ring)
 	e.ps = pubsub.New(env, e.ring, opts.PubSub)
 	// The engine interposes on the ring's upcalls to catch its own control
@@ -167,6 +172,14 @@ func (e *Engine) Ring() *ring.Node { return e.ring }
 
 // PubSub exposes the forest node (diagnostics and experiments).
 func (e *Engine) PubSub() *pubsub.Node { return e.ps }
+
+// Metrics returns this node's telemetry registry: every layer of the
+// stack (ring, pubsub, fl driver, transport) emits into it.
+func (e *Engine) Metrics() *obs.Registry { return e.env.Metrics() }
+
+// Promotions returns how many times this node promoted itself to master
+// from a replica (failover instrumentation, "engine.promotions").
+func (e *Engine) Promotions() int { return int(e.ctrPromotions.Value()) }
 
 // SetCallbacks installs the custom-application upcalls.
 func (e *Engine) SetCallbacks(cb Callbacks) { e.cb = cb }
@@ -482,6 +495,15 @@ func (e *Engine) completeRound(m *masterState, round int, u updateAgg) {
 	if u.Acc != nil {
 		participants = u.Acc.Count
 	}
+	// Round telemetry is emitted here, on the event loop, so it stays
+	// deterministic under the simulator (never from training goroutines).
+	reg := e.env.Metrics()
+	e.ctrRounds.Inc()
+	reg.Counter("fl.rounds").Inc()
+	reg.Counter("fl.participants").Add(int64(participants))
+	reg.Counter("fl.update_bytes").Add(int64(u.Bytes))
+	reg.Histogram("fl.update_size", obs.ByteBuckets).Observe(float64(u.Bytes))
+	reg.Gauge("fl.accuracy").Set(acc)
 	m.progress.Points = append(m.progress.Points, workload.AccuracyPoint{
 		Time: now, Round: m.round, Accuracy: acc, Participants: participants,
 	})

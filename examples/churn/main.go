@@ -77,7 +77,7 @@ func main() {
 	p := cluster.Progress(id)
 	repairs := 0
 	for _, e := range cluster.Engines {
-		repairs += e.PubSub().Stats.Repairs
+		repairs += int(e.Metrics().Counter("pubsub.repairs").Value())
 	}
 	last := p.Points[len(p.Points)-1]
 	fmt.Printf("\nchurn injected %d failures (%d revived); survivors ran %d tree repairs\n",

@@ -102,7 +102,7 @@ func main() {
 	zonalKey := ids.MakeZoned(1, zoneBits, ids.Random(rng))
 	src.Route(zonalKey, multiring.ScopeZonal, "private-telemetry")
 	net.RunUntilIdle()
-	fmt.Printf("zonal packet to another zone: blocked at the boundary (Blocked=%d)\n", src.Blocked)
+	fmt.Printf("zonal packet to another zone: blocked at the boundary (Blocked=%d)\n", src.Blocked())
 
 	globalKey := ids.MakeZoned(1, zoneBits, ids.Random(rng))
 	src.Route(globalKey, multiring.ScopeGlobal, "weather-model-request")

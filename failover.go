@@ -176,7 +176,7 @@ func (e *Engine) maybePromote(app AppID) bool {
 		},
 	}
 	e.masters[app] = m
-	e.Promotions++
+	e.ctrPromotions.Inc()
 	e.ps.CreateWithConfig(app, pubsub.TreeConfig{
 		MaxFanout:  m.spec.TreeFanout,
 		AggTimeout: m.spec.RoundDeadline,

@@ -131,9 +131,11 @@ func runFailover(t *testing.T, seed int64, kill bool) failoverResult {
 	if prog == nil {
 		t.Fatal("no progress recorded")
 	}
+	// Promotion counts are asserted through the telemetry registry — the
+	// same numbers a live deployment would serve from /metrics.
 	promos := 0
 	for _, e := range c.Engines {
-		promos += e.Promotions
+		promos += int(e.Metrics().Counter("engine.promotions").Value())
 	}
 	return failoverResult{prog: prog, promotions: promos, promoteDelay: promotedAt - killedAt}
 }

@@ -8,6 +8,7 @@ import (
 	"totoro/internal/fl"
 	"totoro/internal/ids"
 	"totoro/internal/ml"
+	"totoro/internal/obs"
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
 	"totoro/internal/simnet"
@@ -43,18 +44,12 @@ func AblationInNetworkAggregation(o Options) []AggregationAblationRow {
 func aggregationAblationRun(o Options, n int) AggregationAblationRow {
 	const updateBytes = 50 << 10
 	topic := ids.Hash("ablation-agg", fmt.Sprint(n))
-	var aggDone time.Duration
 	f := newForest(forestConfig{
 		N:         n + n/2,
 		Ring:      ring.Config{B: 4},
 		Seed:      o.Seed + int64(n),
 		Bandwidth: 2 << 20,
 	})
-	for _, s := range f.Stacks {
-		s.PS.SetHandlers(pubsub.Handlers{
-			OnAggregate: func(t ids.ID, round int, obj any, count int) { aggDone = f.Net.Now() },
-		})
-	}
 	f.subscribeDistinct(topic, n)
 	var root *stack
 	for _, s := range f.Stacks {
@@ -80,8 +75,15 @@ func aggregationAblationRun(o Options, n int) AggregationAblationRow {
 		}
 	}
 	f.Net.RunUntilIdle()
+	var aggDone time.Duration
+	for _, e := range f.mergedTrace() {
+		if e.Kind == obs.KindPubSubAgg && e.Note == "root" && e.Key == topic.String() &&
+			e.At >= start && e.At > aggDone {
+			aggDone = e.At
+		}
+	}
 	treeMs := float64(aggDone-start) / float64(time.Millisecond)
-	rootBytesTree := f.Net.TrafficOf(rootAddr).BytesIn
+	rootBytesTree := f.Net.MetricsOf(rootAddr).Counter(simnet.CtrBytesIn).Value()
 
 	// (b) Naive: every subscriber sends its raw update straight to the
 	// root over the network.
@@ -103,7 +105,7 @@ func aggregationAblationRun(o Options, n int) AggregationAblationRow {
 	}
 	f.Net.RunUntilIdle()
 	directMs := float64(lastArrive-start) / float64(time.Millisecond)
-	rootBytesDirect := f.Net.TrafficOf(sinkAddr).BytesIn
+	rootBytesDirect := f.Net.MetricsOf(sinkAddr).Counter(simnet.CtrBytesIn).Value()
 
 	return AggregationAblationRow{
 		Members:           n,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"totoro/internal/ids"
+	"totoro/internal/obs"
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
 	"totoro/internal/simnet"
@@ -75,7 +76,6 @@ type forestConfig struct {
 	Seed      int64
 	Latency   time.Duration
 	Bandwidth int64
-	Handlers  func(i int, addr transport.Addr) pubsub.Handlers
 }
 
 func newForest(cfg forestConfig) *forest {
@@ -97,13 +97,9 @@ func newForest(cfg forestConfig) *forest {
 		addr := transport.Addr(fmt.Sprintf("n%d", i))
 		id := ids.Random(f.RNG)
 		s := &stack{}
-		idx := i
 		env := f.Net.AddNode(addr, func(e transport.Env) transport.Handler {
 			s.Ring = ring.New(e, ring.Contact{ID: id, Addr: addr}, cfg.Ring)
 			s.PS = pubsub.New(e, s.Ring, cfg.PubSub)
-			if cfg.Handlers != nil {
-				s.PS.SetHandlers(cfg.Handlers(idx, addr))
-			}
 			return s
 		})
 		f.Stacks = append(f.Stacks, s)
@@ -114,6 +110,20 @@ func newForest(cfg forestConfig) *forest {
 	ring.BuildStatic(ringNodes, f.RNG)
 	return f
 }
+
+// counterSum sums one named counter across every node's telemetry
+// registry — the figures read their numbers from here instead of keeping
+// private tallies.
+func (f *forest) counterSum(name string) int64 {
+	var total int64
+	for _, env := range f.Envs {
+		total += env.Metrics().Counter(name).Value()
+	}
+	return total
+}
+
+// mergedTrace is the fleet-wide trace timeline in virtual-time order.
+func (f *forest) mergedTrace() []obs.Event { return f.Net.MergedTrace() }
 
 // subscribeDistinct subscribes k distinct random nodes to topic and waits
 // for the tree to settle; it returns the chosen indices.

@@ -2,7 +2,49 @@ package experiments
 
 import (
 	"testing"
+
+	"totoro/internal/ids"
+	"totoro/internal/obs"
+	"totoro/internal/ring"
 )
+
+// TestRingPathReconstructedFromTrace routes one message across the forest
+// and rebuilds its full node-by-node path from the hop-trace records in the
+// merged telemetry timeline: every hop recorded an event, the hops chain
+// (each hop's To is the next hop's Node), and the chain ends at the node
+// that logged the delivery.
+func TestRingPathReconstructedFromTrace(t *testing.T) {
+	f := newForest(forestConfig{N: 60, Ring: ring.Config{B: 2}, Seed: 99})
+	key := ids.Hash("trace-path", "probe")
+	src := f.Stacks[0]
+	src.Ring.Route(key, nil)
+	f.Net.RunUntilIdle()
+
+	path := obs.PathOf(f.mergedTrace(), key.String())
+	if len(path) == 0 {
+		t.Fatal("no trace events recorded for the routed key")
+	}
+	last := path[len(path)-1]
+	if last.Kind != obs.KindRingDeliver {
+		t.Fatalf("path does not end in a delivery: %s", obs.PathString(path))
+	}
+	for i := 0; i < len(path)-1; i++ {
+		if path[i].Kind != obs.KindRingHop {
+			t.Fatalf("interior event %d is %s, want ring.hop: %s", i, path[i].Kind, obs.PathString(path))
+		}
+		if path[i].To != path[i+1].Node {
+			t.Fatalf("hop chain broken at %d (%s -> %s, next node %s): %s",
+				i, path[i].Node, path[i].To, path[i+1].Node, obs.PathString(path))
+		}
+	}
+	if path[0].Node != string(src.Ring.Self().Addr) && len(path) > 1 {
+		t.Fatalf("path does not start at the source: %s", obs.PathString(path))
+	}
+	if last.Hop != len(path)-1 {
+		t.Fatalf("delivery hop count %d != %d recorded hops: %s",
+			last.Hop, len(path)-1, obs.PathString(path))
+	}
+}
 
 func shortOpts() Options {
 	o := DefaultOptions()
@@ -211,6 +253,12 @@ func TestFig12RecoveryStable(t *testing.T) {
 	for _, r := range rows {
 		if r.RecoveryMs <= 0 || r.RecoveryMs > 10000 {
 			t.Fatalf("recovery %v ms for %d trees", r.RecoveryMs, r.Trees)
+		}
+		// The repair-join count is summed straight from the nodes' telemetry
+		// registries; a recovery with zero recorded repairs means the figure
+		// is no longer wired to the registry.
+		if r.RepairJoins <= 0 {
+			t.Fatalf("trees=%d recovered with no registry-recorded repair joins: %+v", r.Trees, r)
 		}
 	}
 	// Stability: 4× the trees may not cost 4× the recovery time.

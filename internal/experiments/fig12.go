@@ -17,6 +17,9 @@ type RecoveryRow struct {
 	Trees       int
 	FailedNodes int
 	RecoveryMs  float64
+	// RepairJoins counts the re-join attempts the pub/sub layer made during
+	// the repair window, summed from the nodes' telemetry registries.
+	RepairJoins int
 }
 
 // Fig12Recovery fails 5% of the membership of an exponentially increasing
@@ -79,6 +82,7 @@ func recoveryRun(o Options, trees int) RecoveryRow {
 		f.Net.Fail(addr)
 	}
 	failAt := f.Net.Now()
+	repairsBefore := f.counterSum("pubsub.repairs")
 
 	// Advance in small steps until every live member of every tree has a
 	// fully live parent chain to its root.
@@ -93,6 +97,7 @@ func recoveryRun(o Options, trees int) RecoveryRow {
 		Trees:       trees,
 		FailedNodes: len(failed),
 		RecoveryMs:  float64(f.Net.Now()-failAt) / float64(time.Millisecond),
+		RepairJoins: int(f.counterSum("pubsub.repairs") - repairsBefore),
 	}
 }
 

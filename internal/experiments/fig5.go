@@ -197,12 +197,13 @@ func newForestZoned(n, zoneBits int, zoneOf []uint64, seed int64) *forest {
 		addr := transport.Addr(fmt.Sprintf("z%d", i))
 		id := ids.MakeZoned(zoneOf[i], zoneBits, ids.Random(f.RNG))
 		s := &stack{}
-		f.Net.AddNode(addr, func(e transport.Env) transport.Handler {
+		env := f.Net.AddNode(addr, func(e transport.Env) transport.Handler {
 			s.Ring = ring.New(e, ring.Contact{ID: id, Addr: addr}, ring.Config{B: 4})
 			s.PS = pubsub.New(e, s.Ring, pubsub.Config{})
 			return s
 		})
 		f.Stacks = append(f.Stacks, s)
+		f.Envs = append(f.Envs, env)
 		f.ByAddr[addr] = s
 		ringNodes = append(ringNodes, s.Ring)
 	}

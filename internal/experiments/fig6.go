@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"totoro/internal/ids"
-	"totoro/internal/pubsub"
+	"totoro/internal/obs"
 	"totoro/internal/ring"
 )
 
@@ -41,15 +41,13 @@ func Fig6Scale(o Options, b int) []ScaleRow {
 }
 
 // measureTree builds one tree with n subscribers and times a broadcast and
-// an aggregation round over it.
+// an aggregation round over it. Both timings are read from the shared
+// telemetry registry — the pubsub layer's own trace events — rather than
+// from per-figure handler plumbing.
 func measureTree(o Options, b, n int) ScaleRow {
-	type rec struct {
-		lastDeliver time.Duration
-		aggDone     time.Duration
-	}
-	var r rec
 	network := n + n/4 + 50
 	topic := ids.Hash("fig6-app", fmt.Sprint(b), fmt.Sprint(n))
+	topicKey := topic.String()
 	// Latency-dominated regime (no NIC serialization): dissemination and
 	// aggregation time are then exactly the tree-depth staircase the paper
 	// reports; Fig 7 and Table 3 cover the bandwidth-bound regimes.
@@ -58,22 +56,11 @@ func measureTree(o Options, b, n int) ScaleRow {
 		Ring: ring.Config{B: b},
 		Seed: o.Seed + int64(n),
 	})
-	for _, s := range f.Stacks {
-		s.PS.SetHandlers(pubsub.Handlers{
-			OnDeliver: func(t ids.ID, obj any, depth int, sub bool) {
-				if sub && f.Net.Now() > r.lastDeliver {
-					r.lastDeliver = f.Net.Now()
-				}
-			},
-			OnAggregate: func(t ids.ID, round int, obj any, count int) {
-				r.aggDone = f.Net.Now()
-			},
-		})
-	}
 	f.subscribeDistinct(topic, n)
 	levels := f.treeLevels(topic)
 
-	// Dissemination: root publishes one model; time to the last subscriber.
+	// Dissemination: root publishes one model; time to the last subscriber,
+	// read from the subscribers' pubsub.deliver trace events.
 	var root *stack
 	for _, s := range f.Stacks {
 		if info, ok := s.PS.TreeInfo(topic); ok && info.IsRoot {
@@ -84,10 +71,17 @@ func measureTree(o Options, b, n int) ScaleRow {
 	start := f.Net.Now()
 	root.PS.Publish(topic, modelObj{Bytes: fig6ModelBytes})
 	f.Net.RunUntilIdle()
-	dissem := r.lastDeliver - start
+	var lastDeliver time.Duration
+	for _, e := range f.mergedTrace() {
+		if e.Kind == obs.KindPubSubDeliver && e.Note == "sub" && e.Key == topicKey &&
+			e.At >= start && e.At > lastDeliver {
+			lastDeliver = e.At
+		}
+	}
+	dissem := lastDeliver - start
 
 	// Aggregation: every member submits simultaneously; time until the
-	// root's combined aggregate lands.
+	// root's pubsub.agg trace event records the combined aggregate landing.
 	start = f.Net.Now()
 	for _, s := range f.Stacks {
 		info, ok := s.PS.TreeInfo(topic)
@@ -101,7 +95,14 @@ func measureTree(o Options, b, n int) ScaleRow {
 		}
 	}
 	f.Net.RunUntilIdle()
-	agg := r.aggDone - start
+	var aggDone time.Duration
+	for _, e := range f.mergedTrace() {
+		if e.Kind == obs.KindPubSubAgg && e.Note == "root" && e.Key == topicKey &&
+			e.At >= start && e.At > aggDone {
+			aggDone = e.At
+		}
+	}
+	agg := aggDone - start
 
 	return ScaleRow{
 		Members:         n,

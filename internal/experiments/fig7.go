@@ -7,6 +7,7 @@ import (
 	"totoro/internal/ids"
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
+	"totoro/internal/simnet"
 )
 
 // TrafficRow is one point of Fig 7: mean per-node control traffic as the
@@ -84,12 +85,10 @@ func trafficRun(o Options, nodes, trees, subsPerTree, window int) (tcpPerNode, u
 		}
 		f.Net.Run(f.Net.Now() + time.Second)
 	}
-	var bytes, msgs int64
-	for _, s := range f.Stacks {
-		tr := f.Net.TrafficOf(s.Ring.Self().Addr)
-		bytes += tr.BytesOut
-		msgs += int64(tr.MsgsOut)
-	}
+	// Traffic totals come from the per-node telemetry registries (the same
+	// counters a live node would expose over /metrics).
+	bytes := f.counterSum(simnet.CtrBytesOut)
+	msgs := f.counterSum(simnet.CtrMsgsOut)
 	n := float64(nodes)
 	tcpPerNode = (float64(bytes) + float64(msgs)*tcpOverhead) / n
 	udpPerNode = (float64(bytes) + float64(msgs)*udpOverhead) / n

@@ -121,9 +121,11 @@ func relayRun(o Options, policy string, K int) RelayRow {
 		}
 	}
 	row := RelayRow{
-		Policy:      policy,
-		Delivered:   len(arrivals),
-		Retransmits: nodes["worker"].Stats.Retransmits + nodes["relayA"].Stats.Retransmits + nodes["relayB"].Stats.Retransmits,
+		Policy:    policy,
+		Delivered: len(arrivals),
+		Retransmits: int(nodes["worker"].Metrics().Counter("relay.retransmits").Value() +
+			nodes["relayA"].Metrics().Counter("relay.retransmits").Value() +
+			nodes["relayB"].Metrics().Counter("relay.retransmits").Value()),
 	}
 	if len(delays) > 0 {
 		sum := 0.0

@@ -112,7 +112,7 @@ func TestFederatedSessionConverges(t *testing.T) {
 	proto := ml.NewMLP([]int{16, 32, 5}, rng)
 	s := NewSession(proto, clients, test, ClientConfig{LocalEpochs: 1, LR: 0.1, BatchSize: 20}, nil, nil)
 	first := s.Accuracy()
-	var last RoundStats
+	var last RoundReport
 	for r := 0; r < 12; r++ {
 		last = s.Round(10, rng)
 	}

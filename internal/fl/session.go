@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"totoro/internal/ml"
+	"totoro/internal/obs"
 )
 
 // Session drives the pure FL algorithm for one application — selection,
@@ -25,6 +26,11 @@ type Session struct {
 	// client trains on a private rng derived from the round seed and its
 	// ID, and updates are merged in selection order.
 	Workers int
+	// Metrics, when set, receives the session's telemetry: counters
+	// fl.rounds / fl.participants / fl.update_bytes, an update-size
+	// histogram, and the fl.accuracy gauge. The engine passes its Env's
+	// registry; standalone sessions may leave it nil.
+	Metrics *obs.Registry
 
 	infos []ClientInfo
 	round int
@@ -55,8 +61,8 @@ func NewSession(proto *ml.MLP, clients []*ml.Dataset, test *ml.Dataset, cfg Clie
 	return s
 }
 
-// RoundStats summarizes one completed round.
-type RoundStats struct {
+// RoundReport summarizes one completed round.
+type RoundReport struct {
 	Round      int
 	Selected   []int
 	UpdateSize int // compressed bytes of one client update
@@ -68,7 +74,7 @@ type RoundStats struct {
 // every client draws from a private rng derived from this round's seed and
 // its ID, and updates are merged in selection order, so the result is
 // bit-identical at any worker count.
-func (s *Session) Round(perRound int, rng *rand.Rand) RoundStats {
+func (s *Session) Round(perRound int, rng *rand.Rand) RoundReport {
 	s.round++
 	selected := s.Sel.Select(perRound, s.infos, rng)
 	roundSeed := rng.Int63()
@@ -95,11 +101,17 @@ func (s *Session) Round(perRound int, rng *rand.Rand) RoundStats {
 	if d := agg.MeanDelta(); d != nil {
 		ApplyDelta(s.Global, d)
 	}
-	return RoundStats{
+	acc := s.Accuracy()
+	s.Metrics.Counter("fl.rounds").Inc()
+	s.Metrics.Counter("fl.participants").Add(int64(len(selected)))
+	s.Metrics.Counter("fl.update_bytes").Add(int64(updateBytes) * int64(len(selected)))
+	s.Metrics.Histogram("fl.update_size", obs.ByteBuckets).Observe(float64(updateBytes))
+	s.Metrics.Gauge("fl.accuracy").Set(acc)
+	return RoundReport{
 		Round:      s.round,
 		Selected:   selected,
 		UpdateSize: updateBytes,
-		Accuracy:   s.Accuracy(),
+		Accuracy:   acc,
 	}
 }
 

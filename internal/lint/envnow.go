@@ -1,0 +1,119 @@
+// Package lint holds repo-specific static checks, run as tests in CI.
+//
+// The one check so far guards the simulator's determinism contract:
+// protocol packages must take time from transport.Env.Now (virtual time
+// under simnet, wall clock under tcpnet), never from the time package
+// directly. A stray time.Now() in a protocol layer compiles and passes
+// unit tests, but silently breaks bit-identical replay — exactly the class
+// of bug a type checker can't see and a human reviewer forgets.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// wallClockFuncs are the time-package functions that read or schedule on
+// the wall clock. Pure types and arithmetic (time.Duration,
+// time.Millisecond) stay allowed; timers and sleeps are banned because
+// they bypass Env.After.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	// Timer/ticker constructors bypass Env.After and run on the real clock.
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Sleep":     true,
+}
+
+// Violation is one wall-clock use found in a checked package.
+type Violation struct {
+	Pos  token.Position
+	Call string // e.g. "time.Now"
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s is wall-clock; use transport.Env (Now/After) instead", v.Pos, v.Call)
+}
+
+// CheckEnvNow parses every non-test .go file in dir and reports calls to
+// wall-clock functions of the time package (under whatever name the file
+// imports it).
+func CheckEnvNow(dir string) ([]Violation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, checkFile(fset, f)...)
+	}
+	return out, nil
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) []Violation {
+	// Resolve the local name of the "time" import ("_" and "." imports are
+	// not used in this repo; a dot-import would defeat the check, so flag it
+	// outright).
+	timeNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		if p != "time" {
+			continue
+		}
+		switch {
+		case imp.Name == nil:
+			timeNames["time"] = true
+		case imp.Name.Name == ".":
+			return []Violation{{
+				Pos:  fset.Position(imp.Pos()),
+				Call: `import . "time"`,
+			}}
+		case imp.Name.Name == "_":
+		default:
+			timeNames[imp.Name.Name] = true
+		}
+	}
+	if len(timeNames) == 0 {
+		return nil
+	}
+	var out []Violation
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || !timeNames[ident.Name] || ident.Obj != nil {
+			// ident.Obj != nil means a local declaration shadows the import.
+			return true
+		}
+		if wallClockFuncs[sel.Sel.Name] {
+			out = append(out, Violation{
+				Pos:  fset.Position(sel.Pos()),
+				Call: ident.Name + "." + sel.Sel.Name,
+			})
+		}
+		return true
+	})
+	return out
+}

@@ -184,7 +184,7 @@ func TestIntraZoneNeverLeavesZone(t *testing.T) {
 		}
 	}
 	for _, n := range c.nodes {
-		if n.Zone() != src.Zone() && n.Forwarded > 0 {
+		if n.Zone() != src.Zone() && n.Forwarded() > 0 {
 			t.Fatalf("node %s in zone %d forwarded intra-zone traffic", n.self.Addr, n.Zone())
 		}
 	}
@@ -217,8 +217,8 @@ func TestZonalPacketBlockedAtBoundary(t *testing.T) {
 	key := ids.MakeZoned(otherZone, c.mBits, ids.Random(c.rng))
 	src.Route(key, ScopeZonal, "leak?")
 	c.net.RunUntilIdle()
-	if src.Blocked != 1 {
-		t.Fatalf("Blocked=%d want 1", src.Blocked)
+	if src.Blocked() != 1 {
+		t.Fatalf("Blocked=%d want 1", src.Blocked())
 	}
 	total := 0
 	for _, pkts := range c.delivered {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"totoro/internal/ids"
+	"totoro/internal/obs"
 	"totoro/internal/ring"
 	"totoro/internal/transport"
 )
@@ -65,10 +66,9 @@ type Node struct {
 
 	deliver func(Packet)
 
-	// Blocked counts packets refused at the zone boundary.
-	Blocked int
-	// Forwarded counts packets passed on.
-	Forwarded int
+	// Cached handles into env.Metrics().
+	ctrBlocked   *obs.Counter
+	ctrForwarded *obs.Counter
 }
 
 // NewNode creates a multiring node. deliver is invoked when this node owns
@@ -77,14 +77,28 @@ func NewNode(env transport.Env, self ring.Contact, cfg Config, deliver func(Pack
 	if cfg.ExitPolicy == nil {
 		cfg.ExitPolicy = func(p Packet, destZone uint64) bool { return p.Scope == ScopeGlobal }
 	}
+	m := env.Metrics()
 	return &Node{
 		env:     env,
 		cfg:     cfg,
 		self:    self,
 		zone:    self.ID.ZonePrefix(cfg.MBits),
 		deliver: deliver,
+		// Blocked counts packets refused at the zone boundary; Forwarded
+		// counts packets passed on.
+		ctrBlocked:   m.Counter("multiring.blocked"),
+		ctrForwarded: m.Counter("multiring.forwarded"),
 	}
 }
+
+// Metrics returns the node's telemetry registry ("multiring.*" counters).
+func (n *Node) Metrics() *obs.Registry { return n.env.Metrics() }
+
+// Blocked returns how many packets this node refused at the zone boundary.
+func (n *Node) Blocked() int64 { return n.ctrBlocked.Value() }
+
+// Forwarded returns how many packets this node passed on.
+func (n *Node) Forwarded() int64 { return n.ctrForwarded.Value() }
 
 // Self returns the node's contact.
 func (n *Node) Self() ring.Contact { return n.self }
@@ -112,7 +126,7 @@ func (n *Node) handle(p Packet) {
 	destZone := p.Key.ZonePrefix(n.cfg.MBits)
 	if destZone != n.zone {
 		if !n.cfg.ExitPolicy(p, destZone) {
-			n.Blocked++
+			n.ctrBlocked.Inc()
 			return
 		}
 		next := n.nextZoneHop(destZone)
@@ -123,7 +137,7 @@ func (n *Node) handle(p Packet) {
 			return
 		}
 		p.Hops++
-		n.Forwarded++
+		n.ctrForwarded.Inc()
 		n.env.Send(next.Addr, p)
 		return
 	}
@@ -175,7 +189,7 @@ func (n *Node) routeWithinZone(p Packet) {
 		// Our successor owns the key.
 		p.Hops++
 		p.Final = true
-		n.Forwarded++
+		n.ctrForwarded.Inc()
 		n.env.Send(n.succ.Addr, p)
 		return
 	}
@@ -201,7 +215,7 @@ func (n *Node) routeWithinZone(p Packet) {
 		best = n.succ
 	}
 	p.Hops++
-	n.Forwarded++
+	n.ctrForwarded.Inc()
 	n.env.Send(best.Addr, p)
 }
 

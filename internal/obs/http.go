@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler serves live telemetry over HTTP in the style of expvar:
+//
+//	GET /metrics       -> Snapshot as JSON (sorted keys)
+//	GET /metrics/text  -> Snapshot.String() (the deterministic text form)
+//	GET /metrics/trace -> trace events as a JSON array, oldest first
+//
+// snap and trace are called per request, so the handler can serve either
+// one node's registry or a merged fleet view.
+func Handler(snap func() Snapshot, trace func() []Event) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap())
+	})
+	mux.HandleFunc("/metrics/text", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(snap().String()))
+	})
+	mux.HandleFunc("/metrics/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := trace()
+		if events == nil {
+			events = []Event{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(events)
+	})
+	return mux
+}
+
+// RegistryHandler is Handler bound to one registry.
+func RegistryHandler(r *Registry) http.Handler {
+	return Handler(r.Snapshot, r.TraceEvents)
+}
+
+// StartServer serves h on addr (":0" picks a free port) in a background
+// goroutine. It returns the bound address and a shutdown func.
+func StartServer(addr string, h http.Handler) (bound string, shutdown func(), err error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close() }, nil
+}

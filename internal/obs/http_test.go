@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHTTPExposition(t *testing.T) {
+	r := New(0)
+	r.Counter("ring.delivered").Add(3)
+	r.Gauge("fl.accuracy").Set(0.5)
+	r.Trace(Event{At: 1, Node: "n1", Kind: KindRingDeliver, Key: "m", Hop: 2})
+
+	addr, shutdown, err := StartServer("127.0.0.1:0", RegistryHandler(r))
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer shutdown()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("unmarshal /metrics: %v", err)
+	}
+	if snap.Counters["ring.delivered"] != 3 || snap.Gauges["fl.accuracy"] != 0.5 {
+		t.Fatalf("served snapshot wrong: %+v", snap)
+	}
+
+	if text := string(get("/metrics/text")); !strings.Contains(text, "counter ring.delivered 3") {
+		t.Fatalf("text exposition missing counter:\n%s", text)
+	}
+
+	var events []Event
+	if err := json.Unmarshal(get("/metrics/trace"), &events); err != nil {
+		t.Fatalf("unmarshal /metrics/trace: %v", err)
+	}
+	if len(events) != 1 || events[0].Kind != KindRingDeliver || events[0].Node != "n1" {
+		t.Fatalf("served trace wrong: %+v", events)
+	}
+}

@@ -1,0 +1,339 @@
+// Package obs is Totoro's dependency-free telemetry core: named counters,
+// gauges, and fixed-bucket histograms held in a Registry, plus a bounded
+// ring buffer of structured trace events (see trace.go).
+//
+// Every layer of the stack — overlay routing, pub/sub trees, the FL
+// driver, the transports — emits through one Registry instead of keeping
+// layer-private Stats structs, so experiments, live exposition (http.go),
+// and failover diagnostics all read the same numbers.
+//
+// Design rules:
+//
+//   - No clock. obs never calls time.Now; every trace event is
+//     timestamped by the caller with transport.Env.Now, so the same
+//     instrumentation is virtual-time-deterministic under the simulator
+//     and wall-clock under TCP.
+//   - Thread-safe but cheap on the hot path: counters and gauges are
+//     atomics, and emitters cache instrument handles at construction
+//     instead of hitting the name map per event.
+//   - Nil-safe: every method works on a nil *Registry (instruments become
+//     no-ops), so optional instrumentation needs no branching.
+//   - Deterministic exposition: snapshots render in sorted name order, so
+//     two same-seed simulator runs produce bit-identical reports (the
+//     determinism tests rely on this).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (d must be >= 0 for the counter to stay monotone).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// reset zeroes the counter (Registry.ResetCounters, experiment phases).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed bucket layout. Bucket i
+// counts observations <= Bounds[i]; the final implicit bucket counts the
+// rest. The layout is fixed at creation so that histograms from different
+// nodes merge bucket-by-bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1
+	count  int64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// snapshot copies the histogram state.
+func (h *Histogram) snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+}
+
+// Fixed bucket layouts shared by all layers, so per-node histograms merge.
+var (
+	// HopBuckets covers overlay route lengths (O(log N) hops).
+	HopBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	// DepthBuckets covers dataflow-tree depths.
+	DepthBuckets = []float64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16}
+	// ByteBuckets covers wire sizes from header-only frames to full models.
+	ByteBuckets = []float64{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+)
+
+// Registry holds one node's named instruments plus its trace ring.
+// Instruments are created on first use and live for the registry's
+// lifetime; emitters should cache the returned handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	trace    traceRing
+}
+
+// DefaultTraceCap bounds the per-registry trace ring when New is called
+// with cap <= 0.
+const DefaultTraceCap = 256
+
+// New creates a registry whose trace ring holds up to traceCap events
+// (<= 0 means DefaultTraceCap).
+func New(traceCap int) *Registry {
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCap
+	}
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		trace:    traceRing{cap: traceCap},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket layout; an existing histogram keeps its original layout.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// ResetCounters zeroes the named counters if they exist (experiment
+// harnesses reset traffic tallies between phases).
+func (r *Registry) ResetCounters(names ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range names {
+		if c, ok := r.counters[name]; ok {
+			c.reset()
+		}
+	}
+}
+
+// HistSnapshot is one histogram's frozen state.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a frozen, mergeable view of a registry (or of many merged
+// registries). JSON encoding and String both render in sorted name order.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current instrument values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Merge folds o into s (summing counters, histograms bucket-by-bucket,
+// and gauges — per-node gauges aggregate additively across a fleet) and
+// returns s for chaining.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, h := range o.Histograms {
+		cur, ok := s.Histograms[name]
+		if !ok || len(cur.Counts) != len(h.Counts) {
+			s.Histograms[name] = HistSnapshot{
+				Bounds: append([]float64(nil), h.Bounds...),
+				Counts: append([]int64(nil), h.Counts...),
+				Count:  h.Count,
+				Sum:    h.Sum,
+			}
+			continue
+		}
+		for i := range cur.Counts {
+			cur.Counts[i] += h.Counts[i]
+		}
+		cur.Count += h.Count
+		cur.Sum += h.Sum
+		s.Histograms[name] = cur
+	}
+	return s
+}
+
+// MergeSnapshots sums a fleet of per-node snapshots into one.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for _, s := range snaps {
+		out = out.Merge(s)
+	}
+	return out
+}
+
+// String renders the snapshot as sorted "kind name value" lines — the
+// deterministic text form the determinism tests and totoro-sim -metrics
+// use.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge %s %g\n", name, s.Gauges[name])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "hist %s count=%d sum=%g", name, h.Count, h.Sum)
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, " le%g=%d", h.Bounds[i], c)
+			} else {
+				fmt.Fprintf(&b, " inf=%d", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"totoro/internal/ids"
+	"totoro/internal/obs"
 	"totoro/internal/ring"
 	"totoro/internal/transport"
 )
@@ -109,16 +110,15 @@ type Node struct {
 	handlers Handlers
 	topics   map[ids.ID]*topicState
 
-	// Stats for the experiment harness.
-	Stats Stats
-}
-
-// Stats aggregates pub/sub counters.
-type Stats struct {
-	MulticastsSent  int
-	UpstreamsSent   int
-	Repairs         int
-	JoinsIntercepts int
+	// Cached handles into env.Metrics() — see the "pubsub.*" names below.
+	ctrMulticasts     *obs.Counter
+	ctrUpstreams      *obs.Counter
+	ctrRepairs        *obs.Counter
+	ctrJoinIntercepts *obs.Counter
+	ctrFlushes        *obs.Counter
+	ctrTimeoutFlushes *obs.Counter
+	ctrDeliveries     *obs.Counter
+	depthHist         *obs.Histogram
 }
 
 // New wires a pub/sub node onto an existing ring node and registers itself
@@ -130,9 +130,22 @@ func New(env transport.Env, rn *ring.Node, cfg Config) *Node {
 		cfg:    cfg.withDefaults(),
 		topics: make(map[ids.ID]*topicState),
 	}
+	m := env.Metrics()
+	n.ctrMulticasts = m.Counter("pubsub.multicasts_sent")     // per-child multicast sends
+	n.ctrUpstreams = m.Counter("pubsub.upstreams_sent")       // partial aggregates sent to parent
+	n.ctrRepairs = m.Counter("pubsub.repairs")                // parent failures repaired by re-join
+	n.ctrJoinIntercepts = m.Counter("pubsub.join_intercepts") // joins spliced before the root
+	n.ctrFlushes = m.Counter("pubsub.flushes")                // aggregation rounds flushed upstream
+	n.ctrTimeoutFlushes = m.Counter("pubsub.timeout_flushes") // ... of which by straggler deadline
+	n.ctrDeliveries = m.Counter("pubsub.deliveries")          // multicast deliveries at this node
+	n.depthHist = m.Histogram("pubsub.deliver_depth", obs.DepthBuckets)
 	rn.SetApp(n)
 	return n
 }
+
+// Metrics returns the node's telemetry registry (shared with the rest of
+// its protocol stack through the Env).
+func (n *Node) Metrics() *obs.Registry { return n.env.Metrics() }
 
 // SetHandlers installs the application upcalls.
 func (n *Node) SetHandlers(h Handlers) { n.handlers = h }
@@ -291,7 +304,7 @@ func (n *Node) Forward(d *ring.Delivery, next ring.Contact) bool {
 	if m.Subscriber.Addr == n.ring.Self().Addr {
 		return true // we originated this join; let it route on
 	}
-	n.Stats.JoinsIntercepts++
+	n.ctrJoinIntercepts.Inc()
 	st := n.state(m.Topic)
 	n.addChild(st, m.Subscriber)
 	if st.isRoot || !st.parent.IsZero() || st.joining {
@@ -448,6 +461,7 @@ func (n *Node) multicast(st *topicState, obj any) {
 	st.seq++
 	m := Multicast{Topic: st.topic, Seq: st.seq, Depth: 0, Object: obj}
 	n.recordMulticast(st, m)
+	n.recordDeliver(st, 0)
 	if n.handlers.OnDeliver != nil {
 		n.handlers.OnDeliver(st.topic, obj, 0, st.subscribed)
 	}
@@ -459,15 +473,33 @@ func (n *Node) handleMulticast(m Multicast) {
 	if !n.recordMulticast(st, m) {
 		return // duplicate (retransmission overlap)
 	}
+	n.recordDeliver(st, m.Depth)
 	if n.handlers.OnDeliver != nil {
 		n.handlers.OnDeliver(m.Topic, m.Object, m.Depth, st.subscribed)
 	}
 	n.forwardMulticast(st, m)
 }
 
+// recordDeliver emits the telemetry for one multicast delivery: a counter,
+// the depth histogram (tree-shape evidence, Fig 6), and a trace event from
+// which experiments reconstruct per-round dissemination timing.
+func (n *Node) recordDeliver(st *topicState, depth int) {
+	n.ctrDeliveries.Inc()
+	n.depthHist.Observe(float64(depth))
+	note := "fwd"
+	if st.subscribed {
+		note = "sub"
+	}
+	n.env.Metrics().Trace(obs.Event{
+		At: n.env.Now(), Node: string(n.ring.Self().Addr),
+		Kind: obs.KindPubSubDeliver, Key: st.topic.String(),
+		Hop: depth, Note: note,
+	})
+}
+
 func (n *Node) forwardMulticast(st *topicState, m Multicast) {
 	for _, c := range childList(st) {
-		n.Stats.MulticastsSent++
+		n.ctrMulticasts.Inc()
 		n.env.Send(c.Addr, Multicast{Topic: m.Topic, Seq: m.Seq, Depth: m.Depth + 1, Object: m.Object})
 	}
 }
@@ -548,6 +580,7 @@ func (n *Node) round(st *topicState, round int) *aggRound {
 			r.cancel = n.env.After(timeout, func() {
 				if cur, ok := st.rounds[rnd]; ok && !cur.flushed {
 					n.recordMisses(st, cur)
+					n.ctrTimeoutFlushes.Inc()
 					n.flush(st, rnd, cur)
 				}
 			})
@@ -598,6 +631,7 @@ func (n *Node) flush(st *topicState, round int, r *aggRound) {
 	if r.cancel != nil {
 		r.cancel()
 	}
+	n.ctrFlushes.Inc()
 	// The round stays in the map marked flushed so that stragglers arriving
 	// later are forwarded upstream as supplementary partials instead of
 	// resurrecting the round.
@@ -606,12 +640,19 @@ func (n *Node) flush(st *topicState, round int, r *aggRound) {
 
 func (n *Node) forwardUp(st *topicState, round int, obj any, count int) {
 	if st.isRoot || st.parent.IsZero() {
+		// Root aggregation completes here; the trace event is what the
+		// experiments read aggregation-latency timings from.
+		n.env.Metrics().Trace(obs.Event{
+			At: n.env.Now(), Node: string(n.ring.Self().Addr),
+			Kind: obs.KindPubSubAgg, Key: st.topic.String(),
+			Hop: count, Note: "root",
+		})
 		if n.handlers.OnAggregate != nil {
 			n.handlers.OnAggregate(st.topic, round, obj, count)
 		}
 		return
 	}
-	n.Stats.UpstreamsSent++
+	n.ctrUpstreams.Inc()
 	n.env.Send(st.parent.Addr, Upstream{
 		Topic: st.topic, Round: round, From: n.ring.Self(), Object: obj, Count: count,
 	})
@@ -728,7 +769,7 @@ func (n *Node) repairParent(st *topicState) {
 	st.parent = ring.Contact{}
 	st.joining = true
 	st.lastSeen = n.env.Now()
-	n.Stats.Repairs++
+	n.ctrRepairs.Inc()
 	n.ring.RemoveContact(dead.Addr)
 	if n.handlers.OnRepair != nil {
 		n.handlers.OnRepair(st.topic)

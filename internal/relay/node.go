@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"totoro/internal/bandit"
+	"totoro/internal/obs"
 	"totoro/internal/transport"
 )
 
@@ -86,16 +87,11 @@ type Node struct {
 	stopped bool
 	advStop func()
 
-	// Stats for experiments.
-	Stats Stats
-}
-
-// Stats aggregates relay counters.
-type Stats struct {
-	Delivered   int
-	Forwarded   int
-	Retransmits int
-	Expired     int // frames dropped on TTL/visited exhaustion
+	// Cached handles into env.Metrics() — see the "relay.*" names below.
+	ctrDelivered   *obs.Counter
+	ctrForwarded   *obs.Counter
+	ctrRetransmits *obs.Counter
+	ctrExpired     *obs.Counter
 }
 
 // New creates a relay node; deliver fires when a frame addressed to this
@@ -112,6 +108,11 @@ func New(env transport.Env, cfg Config, deliver func(Data)) *Node {
 		seen:      make(map[uint64]bool),
 		deliver:   deliver,
 	}
+	m := env.Metrics()
+	n.ctrDelivered = m.Counter("relay.delivered")
+	n.ctrForwarded = m.Counter("relay.forwarded")
+	n.ctrRetransmits = m.Counter("relay.retransmits")
+	n.ctrExpired = m.Counter("relay.expired") // frames dropped on TTL/visited exhaustion
 	for _, nb := range cfg.Neighbors {
 		n.links[nb] = &linkStats{}
 	}
@@ -125,6 +126,9 @@ func New(env transport.Env, cfg Config, deliver func(Data)) *Node {
 	}
 	return n
 }
+
+// Metrics returns the node's telemetry registry ("relay.*" counters).
+func (n *Node) Metrics() *obs.Registry { return n.env.Metrics() }
 
 // Stop cancels periodic advertising.
 func (n *Node) Stop() {
@@ -226,14 +230,14 @@ func hashAddr(a transport.Addr) uint64 {
 // per-hop retransmission.
 func (n *Node) route(d Data) {
 	if d.Dst == n.env.Self() {
-		n.Stats.Delivered++
+		n.ctrDelivered.Inc()
 		if n.deliver != nil {
 			n.deliver(d)
 		}
 		return
 	}
 	if d.TTL <= 0 {
-		n.Stats.Expired++
+		n.ctrExpired.Inc()
 		return
 	}
 	d.TTL--
@@ -275,7 +279,7 @@ func (n *Node) route(d Data) {
 		}
 	}
 	if best == transport.None {
-		n.Stats.Expired++
+		n.ctrExpired.Inc()
 		return
 	}
 	d.Visited = append(append([]transport.Addr(nil), d.Visited...), n.env.Self())
@@ -295,7 +299,7 @@ func (n *Node) jNeighborHas(nb, dst transport.Addr) (float64, bool) {
 // transmit sends the frame one hop, retrying on ack timeout; every attempt
 // is a semi-bandit observation.
 func (n *Node) transmit(d Data, next transport.Addr) {
-	n.Stats.Forwarded++
+	n.ctrForwarded.Inc()
 	n.seq++
 	d.Seq = n.seq // hop-local id for the ack
 	s := n.links[next]
@@ -312,7 +316,7 @@ func (n *Node) retry(seq uint64) {
 	if !ok {
 		return
 	}
-	n.Stats.Retransmits++
+	n.ctrRetransmits.Inc()
 	s := n.links[p.next]
 	s.attempts++
 	n.totalTx++

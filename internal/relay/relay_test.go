@@ -205,7 +205,7 @@ func TestUnreachableDestinationExpires(t *testing.T) {
 	if len(delivered["x"]) != 0 {
 		t.Fatal("unreachable destination received a frame")
 	}
-	if nodes["a"].Stats.Expired == 0 {
+	if nodes["a"].Metrics().Counter("relay.expired").Value() == 0 {
 		t.Fatal("frame did not expire")
 	}
 }
@@ -262,11 +262,11 @@ func TestStatsAccounting(t *testing.T) {
 		nodes["s"].Send("d", k)
 	}
 	net.RunUntilIdle()
-	s := nodes["s"].Stats
-	if s.Forwarded < 50 {
-		t.Fatalf("forwarded=%d", s.Forwarded)
+	m := nodes["s"].Metrics()
+	if fwd := m.Counter("relay.forwarded").Value(); fwd < 50 {
+		t.Fatalf("forwarded=%d", fwd)
 	}
-	if s.Retransmits == 0 {
+	if m.Counter("relay.retransmits").Value() == 0 {
 		t.Fatal("lossy links produced no retransmissions")
 	}
 	fmt.Println() // keep fmt imported for debugging convenience

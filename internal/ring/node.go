@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"totoro/internal/ids"
+	"totoro/internal/obs"
 	"totoro/internal/transport"
 )
 
@@ -80,15 +81,13 @@ type Node struct {
 	probeSent map[transport.Addr]time.Duration
 	lastPong  map[transport.Addr]time.Duration
 
-	// Stats counts local observations for the experiment harness.
-	Stats Stats
-}
-
-// Stats aggregates per-node overlay counters.
-type Stats struct {
-	Delivered  int // routes that terminated here
-	Forwarded  int // routes passed on
-	HopRetries int // reliable-hop timeouts that caused a re-route
+	// Cached handles into env.Metrics() — see the "ring.*" names below.
+	ctrDelivered  *obs.Counter
+	ctrForwarded  *obs.Counter
+	ctrHopRetries *obs.Counter
+	ctrJoins      *obs.Counter
+	ctrRepairs    *obs.Counter
+	hopHist       *obs.Histogram
 }
 
 // New creates a node. Call SetApp before routing if the application wants
@@ -109,8 +108,19 @@ func New(env transport.Env, self Contact, cfg Config) *Node {
 	for i := range n.rt {
 		n.rt[i] = make([]Contact, 1<<uint(cfg.B))
 	}
+	m := env.Metrics()
+	n.ctrDelivered = m.Counter("ring.delivered")    // routes that terminated here
+	n.ctrForwarded = m.Counter("ring.forwarded")    // routes passed on
+	n.ctrHopRetries = m.Counter("ring.hop_retries") // reliable-hop timeouts that re-routed
+	n.ctrJoins = m.Counter("ring.joins")            // joins this node completed
+	n.ctrRepairs = m.Counter("ring.leafset_repairs")
+	n.hopHist = m.Histogram("ring.route_hops", obs.HopBuckets)
 	return n
 }
+
+// Metrics returns the node's telemetry registry (its Env's registry, so
+// ring counters sit next to the other layers').
+func (n *Node) Metrics() *obs.Registry { return n.env.Metrics() }
 
 // SetApp installs the application upcall handler.
 func (n *Node) SetApp(app App) { n.app = app }
@@ -171,7 +181,13 @@ func (n *Node) Receive(from transport.Addr, msg any) {
 func (n *Node) handleEnvelope(e Envelope) {
 	next := n.NextHop(e.Key)
 	if next.IsZero() {
-		n.Stats.Delivered++
+		n.ctrDelivered.Inc()
+		n.hopHist.Observe(float64(e.Hops))
+		n.env.Metrics().Trace(obs.Event{
+			At: n.env.Now(), Node: string(n.self.Addr),
+			Kind: obs.KindRingDeliver, Key: e.Key.String(),
+			From: string(e.Source.Addr), Hop: e.Hops,
+		})
 		n.app.Deliver(Delivery{Key: e.Key, Source: e.Source, Hops: e.Hops, Payload: e.Payload})
 		return
 	}
@@ -180,7 +196,12 @@ func (n *Node) handleEnvelope(e Envelope) {
 		return // consumed by the application (e.g. pub/sub JOIN splice)
 	}
 	e.Payload = d.Payload
-	n.Stats.Forwarded++
+	n.ctrForwarded.Inc()
+	n.env.Metrics().Trace(obs.Event{
+		At: n.env.Now(), Node: string(n.self.Addr),
+		Kind: obs.KindRingHop, Key: e.Key.String(),
+		To: string(next.Addr), Hop: e.Hops,
+	})
 	n.forward(e, next)
 }
 
@@ -195,7 +216,7 @@ func (n *Node) forward(e Envelope, next Contact) {
 				return
 			}
 			delete(n.pending, e.Seq)
-			n.Stats.HopRetries++
+			n.ctrHopRetries.Inc()
 			n.RemoveContact(next.Addr)
 			retry := p.env
 			retry.Hops-- // hop did not happen
@@ -470,6 +491,7 @@ func (n *Node) RemoveContact(addr transport.Addr) {
 // merged replies refill the lost slots (paper §4.2: the leaf set "is used
 // for rebuilding the routing tables upon failures").
 func (n *Node) repairLeafset() {
+	n.ctrRepairs.Inc()
 	if len(n.leafCW) > 0 {
 		n.env.Send(n.leafCW[len(n.leafCW)-1].Addr, LeafsetRequest{})
 	}
@@ -519,6 +541,7 @@ func (n *Node) handleJoinReply(m JoinReply) {
 		n.considerContact(c)
 	}
 	n.joined = true
+	n.ctrJoins.Inc()
 	// Announce ourselves to everything we learned so they fold us into
 	// their own state.
 	for _, c := range n.knownContacts() {

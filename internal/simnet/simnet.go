@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"totoro/internal/obs"
 	"totoro/internal/transport"
 )
 
@@ -50,6 +51,9 @@ type Config struct {
 	// node that many peers talk to simultaneously into a measurable
 	// bottleneck — the effect behind the centralized-baseline comparison.
 	DefaultBandwidth int64
+	// TraceCap bounds each node's trace-event ring buffer; 0 means
+	// obs.DefaultTraceCap.
+	TraceCap int
 }
 
 // ConstLatency returns a LatencyFunc with a fixed one-way delay.
@@ -57,11 +61,23 @@ func ConstLatency(d time.Duration) LatencyFunc {
 	return func(a, b transport.Addr) time.Duration { return d }
 }
 
-// Traffic aggregates the byte/message counters for one node.
+// Traffic is a read-side view of one node's byte/message counters. The
+// counters themselves live in the node's obs.Registry under the
+// "net.msgs_in/out" and "net.bytes_in/out" names; this struct exists for
+// experiment code that wants them as plain numbers.
 type Traffic struct {
 	MsgsIn, MsgsOut   int
 	BytesIn, BytesOut int64
 }
+
+// Per-node traffic counter names in each node's registry, shared with the
+// TCP transport so live and simulated nodes expose the same surface.
+const (
+	CtrMsgsIn   = transport.CtrMsgsIn
+	CtrMsgsOut  = transport.CtrMsgsOut
+	CtrBytesIn  = transport.CtrBytesIn
+	CtrBytesOut = transport.CtrBytesOut
+)
 
 type event struct {
 	at  time.Duration
@@ -94,7 +110,10 @@ type simNode struct {
 	handler transport.Handler
 	rng     *rand.Rand
 	alive   bool
-	traffic Traffic
+	reg     *obs.Registry
+	// Cached traffic counter handles (the send hot path must not hit the
+	// registry's name map per message).
+	msgsIn, msgsOut, bytesIn, bytesOut *obs.Counter
 	// bandwidth in bytes/sec; 0 = unlimited.
 	bandwidth int64
 	// egressFree/ingressFree are the times the node's NIC queues drain.
@@ -121,10 +140,11 @@ type Network struct {
 	rng     *rand.Rand
 	latency LatencyFunc
 	loss    LossFunc
-	// Delivered counts total messages actually delivered.
-	Delivered int64
-	// Dropped counts messages lost to link loss or dead destinations.
-	Dropped int64
+	// reg holds network-level counters (net.delivered, net.dropped); the
+	// per-node counters live in each node's own registry.
+	reg       *obs.Registry
+	delivered *obs.Counter
+	dropped   *obs.Counter
 }
 
 // New creates an empty simulated network.
@@ -135,14 +155,24 @@ func New(cfg Config) *Network {
 	if cfg.Loss == nil {
 		cfg.Loss = func(a, b transport.Addr) float64 { return 0 }
 	}
+	reg := obs.New(cfg.TraceCap)
 	return &Network{
-		cfg:     cfg,
-		nodes:   make(map[transport.Addr]*simNode),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		latency: cfg.Latency,
-		loss:    cfg.Loss,
+		cfg:       cfg,
+		nodes:     make(map[transport.Addr]*simNode),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		latency:   cfg.Latency,
+		loss:      cfg.Loss,
+		reg:       reg,
+		delivered: reg.Counter("net.delivered"),
+		dropped:   reg.Counter("net.dropped"),
 	}
 }
+
+// Delivered returns the total messages actually delivered.
+func (n *Network) Delivered() int64 { return n.delivered.Value() }
+
+// Dropped returns the messages lost to link loss or dead destinations.
+func (n *Network) Dropped() int64 { return n.dropped.Value() }
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.now }
@@ -153,9 +183,10 @@ type env struct {
 	node *simNode
 }
 
-func (e *env) Self() transport.Addr { return e.node.addr }
-func (e *env) Now() time.Duration   { return e.net.now }
-func (e *env) Rand() *rand.Rand     { return e.node.rng }
+func (e *env) Self() transport.Addr   { return e.node.addr }
+func (e *env) Now() time.Duration     { return e.net.now }
+func (e *env) Rand() *rand.Rand       { return e.node.rng }
+func (e *env) Metrics() *obs.Registry { return e.node.reg }
 
 func (e *env) Send(to transport.Addr, msg any) {
 	e.net.send(e.node, to, msg)
@@ -180,10 +211,16 @@ func (n *Network) AddNode(addr transport.Addr, build func(transport.Env) transpo
 	if _, dup := n.nodes[addr]; dup {
 		panic(fmt.Sprintf("simnet: duplicate node %q", addr))
 	}
+	reg := obs.New(n.cfg.TraceCap)
 	node := &simNode{
 		addr:      addr,
 		rng:       rand.New(rand.NewSource(n.cfg.Seed ^ int64(hashAddr(addr)))),
 		alive:     true,
+		reg:       reg,
+		msgsIn:    reg.Counter(CtrMsgsIn),
+		msgsOut:   reg.Counter(CtrMsgsOut),
+		bytesIn:   reg.Counter(CtrBytesIn),
+		bytesOut:  reg.Counter(CtrBytesOut),
 		bandwidth: n.cfg.DefaultBandwidth,
 	}
 	n.nodes[addr] = node
@@ -207,10 +244,10 @@ func (n *Network) send(from *simNode, to transport.Addr, msg any) {
 		return
 	}
 	size := transport.SizeOf(msg)
-	from.traffic.MsgsOut++
-	from.traffic.BytesOut += int64(size)
+	from.msgsOut.Inc()
+	from.bytesOut.Add(int64(size))
 	if p := n.loss(from.addr, to); p > 0 && n.rng.Float64() < p {
-		n.Dropped++
+		n.dropped.Inc()
 		return
 	}
 	// Egress serialization: the sender's NIC transmits one frame at a time.
@@ -235,12 +272,12 @@ func (n *Network) send(from *simNode, to transport.Addr, msg any) {
 	n.schedule(deliverAt-n.now, func() {
 		dst, ok := n.nodes[to]
 		if !ok || !dst.alive {
-			n.Dropped++
+			n.dropped.Inc()
 			return
 		}
-		dst.traffic.MsgsIn++
-		dst.traffic.BytesIn += int64(size)
-		n.Delivered++
+		dst.msgsIn.Inc()
+		dst.bytesIn.Add(int64(size))
+		n.delivered.Inc()
 		if n.cfg.Observer != nil {
 			n.cfg.Observer(src, to, size)
 		}
@@ -351,20 +388,60 @@ func (n *Network) Alive(addr transport.Addr) bool {
 	return ok && node.alive
 }
 
-// TrafficOf returns a copy of the traffic counters for addr.
+// TrafficOf returns a copy of the traffic counters for addr, read from
+// the node's registry.
 func (n *Network) TrafficOf(addr transport.Addr) Traffic {
 	if node, ok := n.nodes[addr]; ok {
-		return node.traffic
+		return Traffic{
+			MsgsIn:   int(node.msgsIn.Value()),
+			MsgsOut:  int(node.msgsOut.Value()),
+			BytesIn:  node.bytesIn.Value(),
+			BytesOut: node.bytesOut.Value(),
+		}
 	}
 	return Traffic{}
 }
 
-// ResetTraffic zeroes every node's counters (used between experiment phases).
+// MetricsOf returns addr's telemetry registry (nil if unknown) — the same
+// registry the node's Env.Metrics() hands to its protocol stack.
+func (n *Network) MetricsOf(addr transport.Addr) *obs.Registry {
+	if node, ok := n.nodes[addr]; ok {
+		return node.reg
+	}
+	return nil
+}
+
+// Metrics returns the network-level registry (net.delivered, net.dropped).
+func (n *Network) Metrics() *obs.Registry { return n.reg }
+
+// MergedSnapshot sums the network-level registry and every node's
+// registry into one fleet-wide snapshot, deterministically.
+func (n *Network) MergedSnapshot() obs.Snapshot {
+	snaps := make([]obs.Snapshot, 0, len(n.nodes)+1)
+	snaps = append(snaps, n.reg.Snapshot())
+	for _, addr := range n.Addrs() {
+		snaps = append(snaps, n.nodes[addr].reg.Snapshot())
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// MergedTrace interleaves every node's trace ring into one global
+// virtual-time timeline.
+func (n *Network) MergedTrace() []obs.Event {
+	streams := make([][]obs.Event, 0, len(n.nodes))
+	for _, addr := range n.Addrs() {
+		streams = append(streams, n.nodes[addr].reg.TraceEvents())
+	}
+	return obs.MergeTraces(streams...)
+}
+
+// ResetTraffic zeroes every node's traffic counters plus the network's
+// delivered/dropped tallies (used between experiment phases).
 func (n *Network) ResetTraffic() {
 	for _, node := range n.nodes {
-		node.traffic = Traffic{}
+		node.reg.ResetCounters(CtrMsgsIn, CtrMsgsOut, CtrBytesIn, CtrBytesOut)
 	}
-	n.Delivered, n.Dropped = 0, 0
+	n.reg.ResetCounters("net.delivered", "net.dropped")
 }
 
 // Addrs returns all registered node addresses in insertion-independent

@@ -68,8 +68,8 @@ func TestLossDropsAll(t *testing.T) {
 	if len(rb.got) != 0 {
 		t.Fatalf("expected drop, got %v", rb.got)
 	}
-	if net.Dropped != 1 {
-		t.Fatalf("Dropped=%d", net.Dropped)
+	if net.Dropped() != 1 {
+		t.Fatalf("Dropped=%d", net.Dropped())
 	}
 }
 
@@ -118,8 +118,8 @@ func TestFailedNodeDropsMessagesAndTimers(t *testing.T) {
 	if timerRan {
 		t.Fatal("dead node timer ran")
 	}
-	if net.Dropped != 1 {
-		t.Fatalf("Dropped=%d", net.Dropped)
+	if net.Dropped() != 1 {
+		t.Fatalf("Dropped=%d", net.Dropped())
 	}
 }
 

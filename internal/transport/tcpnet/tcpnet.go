@@ -19,12 +19,13 @@ package tcpnet
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"totoro/internal/obs"
 	"totoro/internal/transport"
 	"totoro/internal/wire"
 )
@@ -103,14 +104,35 @@ type Node struct {
 	rconns map[net.Conn]bool
 	closed bool
 
-	// Reconnects counts successful redials of previously broken
-	// connections; DroppedSends counts frames lost to full queues or an
-	// exhausted retry budget.
-	Reconnects   atomic.Int64
-	DroppedSends atomic.Int64
+	// reg is the node's telemetry registry (shared with the protocol stack
+	// via Env.Metrics). reconnects counts successful redials of previously
+	// broken connections; droppedSends counts frames lost to full queues or
+	// an exhausted retry budget. The net.* counters track real socket
+	// traffic under the same names the simulator uses. Counters are safe
+	// from reader and writer goroutines.
+	reg          *obs.Registry
+	reconnects   *obs.Counter
+	droppedSends *obs.Counter
+	msgsIn       *obs.Counter
+	msgsOut      *obs.Counter
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
 
 	closeOnce sync.Once
 }
+
+// Metrics returns the node's telemetry registry — the same one the
+// protocol stack emits into via its Env. cmd/totoro-node serves it over
+// HTTP with obs.RegistryHandler.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// Reconnects returns the count of successful redials of broken
+// connections ("tcpnet.reconnects").
+func (n *Node) Reconnects() int64 { return n.reconnects.Value() }
+
+// DroppedSends returns the count of frames lost to full queues or an
+// exhausted retry budget ("tcpnet.dropped_sends").
+func (n *Node) DroppedSends() int64 { return n.droppedSends.Value() }
 
 // Listen starts a node on the given TCP address ("host:port") with default
 // resilience settings. build receives the node's Env and returns its
@@ -126,16 +148,24 @@ func ListenConfig(addr string, cfg Config, build func(transport.Env) transport.H
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
+	reg := obs.New(0)
 	n := &Node{
-		addr:     transport.Addr(l.Addr().String()),
-		cfg:      cfg.withDefaults(),
-		listener: l,
-		start:    time.Now(),
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
-		events:   make(chan func(), 1024),
-		done:     make(chan struct{}),
-		peers:    make(map[transport.Addr]*peer),
-		rconns:   make(map[net.Conn]bool),
+		addr:         transport.Addr(l.Addr().String()),
+		cfg:          cfg.withDefaults(),
+		listener:     l,
+		start:        time.Now(),
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+		events:       make(chan func(), 1024),
+		done:         make(chan struct{}),
+		peers:        make(map[transport.Addr]*peer),
+		rconns:       make(map[net.Conn]bool),
+		reg:          reg,
+		reconnects:   reg.Counter("tcpnet.reconnects"),
+		droppedSends: reg.Counter("tcpnet.dropped_sends"),
+		msgsIn:       reg.Counter(transport.CtrMsgsIn),
+		msgsOut:      reg.Counter(transport.CtrMsgsOut),
+		bytesIn:      reg.Counter(transport.CtrBytesIn),
+		bytesOut:     reg.Counter(transport.CtrBytesOut),
 	}
 	n.handler = build(n.env())
 	go n.loop()
@@ -216,12 +246,13 @@ func (n *Node) readLoop(c net.Conn) {
 		n.mu.Unlock()
 		c.Close()
 	}()
-	dec := gob.NewDecoder(c)
+	dec := gob.NewDecoder(&countingReader{r: c, ctr: n.bytesIn})
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
 			return
 		}
+		n.msgsIn.Inc()
 		select {
 		case n.events <- func() { n.handler.Receive(f.From, f.Msg) }:
 		case <-n.done:
@@ -230,14 +261,40 @@ func (n *Node) readLoop(c net.Conn) {
 	}
 }
 
+// countingReader and countingWriter charge socket bytes to a counter as
+// they pass through, giving live nodes the same net.bytes_in/out telemetry
+// the simulator accounts virtually.
+type countingReader struct {
+	r   io.Reader
+	ctr *obs.Counter
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	m, err := c.r.Read(p)
+	c.ctr.Add(int64(m))
+	return m, err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	ctr *obs.Counter
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	m, err := c.w.Write(p)
+	c.ctr.Add(int64(m))
+	return m, err
+}
+
 // env implements transport.Env backed by real time and sockets.
 type tcpEnv struct{ n *Node }
 
 func (n *Node) env() transport.Env { return &tcpEnv{n: n} }
 
-func (e *tcpEnv) Self() transport.Addr { return e.n.addr }
-func (e *tcpEnv) Now() time.Duration   { return time.Since(e.n.start) }
-func (e *tcpEnv) Rand() *rand.Rand     { return e.n.rng }
+func (e *tcpEnv) Self() transport.Addr   { return e.n.addr }
+func (e *tcpEnv) Now() time.Duration     { return time.Since(e.n.start) }
+func (e *tcpEnv) Rand() *rand.Rand       { return e.n.rng }
+func (e *tcpEnv) Metrics() *obs.Registry { return e.n.reg }
 
 func (e *tcpEnv) Send(to transport.Addr, msg any) {
 	e.n.enqueue(to, frame{From: e.n.addr, Msg: msg})
@@ -291,7 +348,7 @@ func (n *Node) enqueue(to transport.Addr, f frame) {
 			// peer (with a fresh retry budget) replaces it.
 			continue
 		default:
-			n.DroppedSends.Add(1)
+			n.droppedSends.Inc()
 			return
 		}
 	}
@@ -334,14 +391,15 @@ func (n *Node) writeLoop(to transport.Addr, p *peer, seed int64) {
 					continue
 				}
 				conn = c
-				enc = gob.NewEncoder(conn)
+				enc = gob.NewEncoder(&countingWriter{w: conn, ctr: n.bytesOut})
 				if hadConn {
-					n.Reconnects.Add(1)
+					n.reconnects.Inc()
 				}
 				hadConn = true
 			}
 			conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
 			if err := enc.Encode(f); err == nil {
+				n.msgsOut.Inc()
 				fails = 0
 				break
 			}
@@ -379,7 +437,7 @@ func (n *Node) abandon(to transport.Addr, p *peer, inFlight int) {
 		case <-p.queue:
 			dropped++
 		default:
-			n.DroppedSends.Add(dropped)
+			n.droppedSends.Add(dropped)
 			return
 		}
 	}

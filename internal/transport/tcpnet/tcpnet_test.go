@@ -147,8 +147,8 @@ func TestReconnectDrainsQueuedFrames(t *testing.T) {
 	waitFor(t, func() bool { return h2.seen.Load() >= 1 })
 	a.Do(func() { ha.env.Send(port, "after-reconnect") })
 	waitFor(t, func() bool { return h2.seen.Load() >= 2 })
-	if a.Reconnects.Load() < 1 {
-		t.Fatalf("Reconnects = %d, want >= 1", a.Reconnects.Load())
+	if a.Reconnects() < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1", a.Reconnects())
 	}
 }
 
@@ -169,7 +169,7 @@ func TestRetryBudgetAbandonsPeerThenRecovers(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 
 	a.Do(func() { ha.env.Send(port, "doomed") })
-	waitFor(t, func() bool { return a.DroppedSends.Load() >= 1 })
+	waitFor(t, func() bool { return a.DroppedSends() >= 1 })
 	a.mu.Lock()
 	_, still := a.peers[port]
 	a.mu.Unlock()

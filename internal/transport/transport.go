@@ -17,6 +17,8 @@ package transport
 import (
 	"math/rand"
 	"time"
+
+	"totoro/internal/obs"
 )
 
 // Addr identifies a node endpoint. Under the simulator it is an opaque
@@ -43,7 +45,22 @@ type Env interface {
 	After(d time.Duration, fn func()) (cancel func())
 	// Rand returns this node's deterministic random source.
 	Rand() *rand.Rand
+	// Metrics returns this node's telemetry registry. All layers emit
+	// their counters, histograms, and trace events here; trace timestamps
+	// come from Now, so telemetry is virtual-time-deterministic under the
+	// simulator. Implementations never return nil.
+	Metrics() *obs.Registry
 }
+
+// Per-node traffic counter names every transport maintains in the node's
+// registry: messages and bytes in/out, as seen by that transport (accounted
+// wire sizes under the simulator, real socket bytes under TCP).
+const (
+	CtrMsgsIn   = "net.msgs_in"
+	CtrMsgsOut  = "net.msgs_out"
+	CtrBytesIn  = "net.bytes_in"
+	CtrBytesOut = "net.bytes_out"
+)
 
 // Handler consumes messages delivered to a node.
 type Handler interface {

@@ -1,11 +1,14 @@
 package totoro_test
 
 import (
+	"encoding/json"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
 
 	totoro "totoro"
+	"totoro/internal/obs"
 	"totoro/internal/ring"
 	"totoro/internal/transport"
 	"totoro/internal/transport/tcpnet"
@@ -103,6 +106,30 @@ func TestEnginesOverRealTCP(t *testing.T) {
 		defer mu.Unlock()
 		return aggregate == len(nodes) && aggCount == len(nodes)
 	})
+
+	// The node's telemetry is live over HTTP: the same registry the protocol
+	// layers write to is served at /metrics, exactly as `totoro-node -metrics`
+	// exposes it.
+	bound, stop, err := obs.StartServer("127.0.0.1:0", obs.RegistryHandler(nodes[0].node.Metrics()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["pubsub.deliveries"] < 1 {
+		t.Fatalf("live /metrics shows no pubsub deliveries: %v", snap.Counters)
+	}
+	if snap.Counters["net.msgs_in"] < 1 || snap.Counters["net.bytes_in"] < 1 {
+		t.Fatalf("live /metrics shows no transport traffic: %v", snap.Counters)
+	}
 }
 
 func waitFor(t *testing.T, cond func() bool) {

@@ -1,0 +1,92 @@
+package totoro
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+	"time"
+
+	"totoro/internal/fl"
+	"totoro/internal/ring"
+	"totoro/internal/transport"
+	"totoro/internal/workload"
+)
+
+// TestEngineWireRoundTrip gob-encodes every engine-level message type
+// registered by RegisterWire — with all fields populated — and checks it
+// survives the trip bit-for-bit. The messages travel inside tcpnet frames
+// as `any`, so a field silently dropped by gob (unexported, nil-vs-empty
+// asymmetry, unregistered concrete type) would only surface as a corrupted
+// live deployment; this pins the contract at the codec level.
+func TestEngineWireRoundTrip(t *testing.T) {
+	RegisterWire()
+
+	spec := AppSpec{
+		ID:             NewAppID("wire-app", "test"),
+		Name:           "wire-app",
+		Sizes:          []int{4, 8, 3},
+		InitParams:     []float64{0.25, -1.5, 3.75},
+		Cfg:            fl.ClientConfig{LocalEpochs: 2, BatchSize: 16, LR: 0.05, Momentum: 0.9, ProxMu: 0.01},
+		Participation:  0.8,
+		TargetAccuracy: 0.92,
+		MaxRounds:      12,
+		Compressor:     "topk",
+		TopK:           5,
+		NoiseSigma:     0.001,
+		ZoneRestricted: true,
+		TreeFanout:     16,
+		RoundDeadline:  2 * time.Second,
+		Seed:           424242,
+	}
+	msgs := []any{
+		spec,
+		announceMsg{Spec: spec},
+		startMsg{App: spec.ID},
+		roundStart{
+			App:           spec.ID,
+			Round:         3,
+			Sizes:         spec.Sizes,
+			Params:        []float64{1, 2, 3},
+			Cfg:           spec.Cfg,
+			Participation: 0.5,
+			Compressor:    "int8",
+			TopK:          7,
+			NoiseSigma:    0.002,
+			Seed:          7,
+		},
+		updateAgg{
+			Acc:   &fl.Accum{WeightedSum: []float64{0.5, 1.5}, Samples: 40, Count: 4},
+			Bytes: 1234,
+		},
+		replicaMsg{
+			Spec:    spec,
+			Master:  ring.Contact{ID: spec.ID, Addr: transport.Addr("127.0.0.1:7001")},
+			Epoch:   2,
+			Round:   5,
+			Global:  []float64{9, 8, 7},
+			Points:  []workload.AccuracyPoint{{Time: time.Second, Round: 1, Accuracy: 0.4, Participants: 6}},
+			Started: true,
+			Done:    true,
+			Reached: true,
+			DoneAt:  90 * time.Second,
+		},
+	}
+	for _, msg := range msgs {
+		name := reflect.TypeOf(msg).String()
+		var buf bytes.Buffer
+		// Encode through an interface field, exactly as tcpnet frames do, so
+		// the test fails if a concrete type is missing from RegisterWire.
+		type envelope struct{ Msg any }
+		if err := gob.NewEncoder(&buf).Encode(envelope{Msg: msg}); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		var out envelope
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(out.Msg, msg) {
+			t.Fatalf("%s: round trip mutated the message:\n sent %#v\n got  %#v", name, msg, out.Msg)
+		}
+	}
+}
