@@ -39,7 +39,7 @@ func main() {
 		topic     = flag.String("topic", "demo-app", "application topic to subscribe to")
 		publish   = flag.String("publish", "", "optional message to broadcast after joining")
 		agg       = flag.Int("aggregate", 0, "optional value to contribute to aggregation round 1")
-		metrics   = flag.String("metrics", "", "HTTP address serving /metrics, /metrics/text, /metrics/trace (empty = off)")
+		metrics   = flag.String("metrics", "", "HTTP address serving /metrics, /metrics/text, /metrics/prom, /metrics/trace (empty = off)")
 	)
 	flag.Parse()
 

@@ -1,0 +1,79 @@
+// Command totoro-vet runs Totoro's static-analysis suite: stdlib-built
+// analyzers that mechanically enforce the engine's determinism,
+// concurrency, and wire invariants (see internal/lint).
+//
+// Usage:
+//
+//	totoro-vet [-only analyzer[,analyzer]] [-list] [packages]
+//
+// Packages are Go-style patterns relative to the module root ("./...",
+// "internal/ring", "internal/..."); the default is the whole module.
+// Exit status is 0 when clean, 1 when findings exist, 2 on usage or load
+// errors. Judged exemptions are annotated in source:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"totoro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: totoro-vet [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			if lint.AnalyzerByName(strings.TrimSpace(name)) == nil {
+				fmt.Fprintf(os.Stderr, "totoro-vet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "totoro-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunRepo(wd, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "totoro-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if *only != "" {
+		keep := map[string]bool{"lint": true} // directive hygiene always applies
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		filtered := diags[:0]
+		for _, d := range diags {
+			if keep[d.Analyzer] {
+				filtered = append(filtered, d)
+			}
+		}
+		diags = filtered
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

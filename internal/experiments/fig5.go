@@ -128,13 +128,20 @@ func Fig5cMastersPerZone(o Options) []ZoneWorkloadRow {
 	// rendezvous inside their own zone.
 	const zoneBits = 4
 	f := newForestZoned(len(pos), zoneBits, bin.ZoneOf, o.Seed)
+	// Zones in sorted order: the RNG draws below consume a shared stream,
+	// so iteration order decides which node hosts each app.
+	zoneOrder := make([]uint64, 0, len(bin.Members))
+	for z := range bin.Members {
+		zoneOrder = append(zoneOrder, z)
+	}
+	sort.Slice(zoneOrder, func(i, j int) bool { return zoneOrder[i] < zoneOrder[j] })
 	appsPerZone := map[uint64]int{}
-	for z, members := range bin.Members {
+	for _, z := range zoneOrder {
+		members := bin.Members[z]
 		apps := (len(members) + 49) / 50 // 1 app per ~50 nodes
 		appsPerZone[z] = apps
 		for a := 0; a < apps; a++ {
 			topic := ids.MakeZoned(z, zoneBits, ids.Hash("fig5c-app", fmt.Sprint(z), fmt.Sprint(a)))
-			members := bin.Members[z]
 			src := f.Stacks[members[f.RNG.Intn(len(members))]]
 			src.PS.Create(topic)
 		}

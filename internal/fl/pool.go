@@ -38,6 +38,7 @@ func startWorkers() {
 			n = 1
 		}
 		for i := 0; i < n; i++ {
+			//lint:ignore gofunc this IS the supervised pool: the one place allowed to spawn its fixed worker set
 			go poolWorker()
 		}
 	})
@@ -115,6 +116,7 @@ func ForEach(n, workers int, job func(i int, ws *ml.Workspace)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//lint:ignore gofunc ForEach's own fan-out: bounded by Workers() and joined before return
 		go func() {
 			defer wg.Done()
 			ws := wsPool.Get().(*ml.Workspace)

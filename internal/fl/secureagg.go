@@ -124,8 +124,12 @@ func SecureRound(updates map[string][]float64, round int) ([]float64, error) {
 		}
 	}
 	// Sanity: residual mask magnitude must be at float rounding level.
+	// Sum in the same sorted client order as the masked pass — float
+	// addition is not associative, so map-order iteration here would make
+	// same-seed runs differ in the last bits.
 	plain := make([]float64, dim)
-	for _, u := range updates {
+	for _, n := range names {
+		u := updates[n]
 		for i := range plain {
 			plain[i] += u[i]
 		}

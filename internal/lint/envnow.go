@@ -1,23 +1,21 @@
-// Package lint holds repo-specific static checks, run as tests in CI.
-//
-// The one check so far guards the simulator's determinism contract:
-// protocol packages must take time from transport.Env.Now (virtual time
-// under simnet, wall clock under tcpnet), never from the time package
-// directly. A stray time.Now() in a protocol layer compiles and passes
-// unit tests, but silently breaks bit-identical replay — exactly the class
-// of bug a type checker can't see and a human reviewer forgets.
 package lint
 
 import (
-	"fmt"
 	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
-	"strconv"
-	"strings"
+	"go/types"
 )
+
+// EnvNow guards the simulator's determinism contract: protocol packages
+// must take time from transport.Env (virtual time under simnet, wall clock
+// under tcpnet), never from the time package directly. A stray time.Now()
+// in a protocol layer compiles and passes unit tests, but silently breaks
+// bit-identical replay — exactly the class of bug a type checker can't see
+// and a human reviewer forgets.
+var EnvNow = &Analyzer{
+	Name: "envnow",
+	Doc:  "wall-clock reads/timers in protocol packages must go through transport.Env (Now/After)",
+	Run:  runEnvNow,
+}
 
 // wallClockFuncs are the time-package functions that read or schedule on
 // the wall clock. Pure types and arithmetic (time.Duration,
@@ -28,6 +26,7 @@ var wallClockFuncs = map[string]bool{
 	"Since": true,
 	"Until": true,
 	// Timer/ticker constructors bypass Env.After and run on the real clock.
+	"After":     true,
 	"AfterFunc": true,
 	"NewTimer":  true,
 	"NewTicker": true,
@@ -35,85 +34,37 @@ var wallClockFuncs = map[string]bool{
 	"Sleep":     true,
 }
 
-// Violation is one wall-clock use found in a checked package.
-type Violation struct {
-	Pos  token.Position
-	Call string // e.g. "time.Now"
-}
-
-func (v Violation) String() string {
-	return fmt.Sprintf("%s: %s is wall-clock; use transport.Env (Now/After) instead", v.Pos, v.Call)
-}
-
-// CheckEnvNow parses every non-test .go file in dir and reports calls to
-// wall-clock functions of the time package (under whatever name the file
-// imports it).
-func CheckEnvNow(dir string) ([]Violation, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var out []Violation
-	fset := token.NewFileSet()
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+func runEnvNow(pass *Pass) {
+	// Type-resolved uses catch every spelling: renamed imports, dot
+	// imports, and shadowed locals all resolve (or fail to resolve) to the
+	// real time package objects.
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
 			continue
 		}
-		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(fset, path, nil, 0)
-		if err != nil {
-			return nil, err
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue // methods on time.Time/Duration values are pure
 		}
-		out = append(out, checkFile(fset, f)...)
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(ident.Pos(), "time.%s is wall-clock; use transport.Env (Now/After) instead", fn.Name())
+		}
 	}
-	return out, nil
+	// A dot-import of time would let future wall-clock calls slip in
+	// unqualified; flag the import itself.
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if imp.Name != nil && imp.Name.Name == "." && importPathOf(imp) == "time" {
+				pass.Reportf(imp.Pos(), `dot-import of "time" hides wall-clock calls; import it qualified`)
+			}
+		}
+	}
 }
 
-func checkFile(fset *token.FileSet, f *ast.File) []Violation {
-	// Resolve the local name of the "time" import ("_" and "." imports are
-	// not used in this repo; a dot-import would defeat the check, so flag it
-	// outright).
-	timeNames := map[string]bool{}
-	for _, imp := range f.Imports {
-		p, _ := strconv.Unquote(imp.Path.Value)
-		if p != "time" {
-			continue
-		}
-		switch {
-		case imp.Name == nil:
-			timeNames["time"] = true
-		case imp.Name.Name == ".":
-			return []Violation{{
-				Pos:  fset.Position(imp.Pos()),
-				Call: `import . "time"`,
-			}}
-		case imp.Name.Name == "_":
-		default:
-			timeNames[imp.Name.Name] = true
-		}
+func importPathOf(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	if len(p) >= 2 {
+		return p[1 : len(p)-1]
 	}
-	if len(timeNames) == 0 {
-		return nil
-	}
-	var out []Violation
-	ast.Inspect(f, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		ident, ok := sel.X.(*ast.Ident)
-		if !ok || !timeNames[ident.Name] || ident.Obj != nil {
-			// ident.Obj != nil means a local declaration shadows the import.
-			return true
-		}
-		if wallClockFuncs[sel.Sel.Name] {
-			out = append(out, Violation{
-				Pos:  fset.Position(sel.Pos()),
-				Call: ident.Name + "." + sel.Sel.Name,
-			})
-		}
-		return true
-	})
-	return out
+	return p
 }

@@ -1,88 +1,10 @@
 package lint
 
-import (
-	"os"
-	"path/filepath"
-	"testing"
-)
+import "testing"
 
-// protocolDirs are the packages whose logic must be wall-clock-free so it
-// replays identically under the simulator. The engine package (repo root)
-// is included: it runs on the same Env contract.
-var protocolDirs = []string{
-	"../ring",
-	"../pubsub",
-	"../multiring",
-	"../relay",
-	"../fl",
-	"../../", // the totoro engine package itself
-}
-
-// TestProtocolPackagesUseEnvClock is the lint gate run in CI: any direct
-// wall-clock call in a protocol package fails the build.
-func TestProtocolPackagesUseEnvClock(t *testing.T) {
-	for _, dir := range protocolDirs {
-		vs, err := CheckEnvNow(dir)
-		if err != nil {
-			t.Fatalf("%s: %v", dir, err)
-		}
-		for _, v := range vs {
-			t.Errorf("%v", v)
-		}
-	}
-}
-
-// TestCheckerCatchesWallClockCalls proves the checker actually fires, so a
-// green lint gate means "no violations", not "broken checker".
-func TestCheckerCatchesWallClockCalls(t *testing.T) {
-	dir := t.TempDir()
-	src := `package bad
-
-import (
-	"time"
-	t2 "time"
-)
-
-func a() time.Time     { return time.Now() }
-func b() time.Duration { return t2.Since(t2.Now()) }
-func c()               { time.Sleep(time.Second) }
-func ok() time.Duration {
-	// Shadowing the import must not trip the checker.
-	type fake struct{ Now func() time.Duration }
-	var time fake
-	return time.Now()
-}
-`
-	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	vs, err := CheckEnvNow(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := map[string]int{"time.Now": 1, "t2.Since": 1, "t2.Now": 1, "time.Sleep": 1}
-	got := map[string]int{}
-	for _, v := range vs {
-		got[v.Call]++
-	}
-	for call, n := range want {
-		if got[call] != n {
-			t.Errorf("%s: got %d violations, want %d (all: %v)", call, got[call], n, vs)
-		}
-	}
-	if len(vs) != 4 {
-		t.Errorf("total violations = %d, want 4: %v", len(vs), vs)
-	}
-
-	// Test files are exempt (they drive real goroutines and deadlines).
-	if err := os.Rename(filepath.Join(dir, "bad.go"), filepath.Join(dir, "bad_test.go")); err != nil {
-		t.Fatal(err)
-	}
-	vs, err = CheckEnvNow(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(vs) != 0 {
-		t.Errorf("test files must be exempt, got %v", vs)
-	}
+// TestEnvNowCorpus pins the envnow analyzer's full output on its corpus:
+// every wall-clock call flagged, Env-based time and Duration arithmetic
+// untouched, suppression honored.
+func TestEnvNowCorpus(t *testing.T) {
+	RunExpectTest(t, "testdata/src/envnow", EnvNow)
 }

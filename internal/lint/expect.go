@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// The expectation harness drives golden-comment analyzer tests over the
+// corpora in testdata/src. A corpus file marks each line that must be
+// flagged with
+//
+//	// want "regexp" ["regexp" ...]
+//
+// and the harness verifies an exact bidirectional match: every diagnostic
+// must satisfy a want on its line, and every want must be satisfied by a
+// diagnostic. Unmarked findings and unmet expectations are both failures,
+// so each corpus pins the analyzer's full output — false positives show up
+// as loudly as false negatives.
+
+// wantExpectation is one compiled // want pattern.
+type wantExpectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	src  string
+	met  bool
+}
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantRxRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// parseWants extracts the // want expectations from a loaded package.
+func parseWants(pkg *Package) ([]*wantExpectation, error) {
+	var wants []*wantExpectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRxRe.FindAllString(m[1], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s: // want comment without a quoted pattern", pos)
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &wantExpectation{
+						file: pos.Filename, line: pos.Line, rx: rx, src: pat,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// TestingT is the subset of *testing.T the harness needs (kept small so
+// the harness itself is testable).
+type TestingT interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunExpectTest loads the package in dir, runs the given analyzers over it
+// (with a wire set collected from the corpus itself, so wiresafe corpora
+// can register their own types in an init), applies //lint:ignore
+// suppressions, and matches the surviving diagnostics — including
+// directive-hygiene findings — against the corpus's // want markers.
+func RunExpectTest(t TestingT, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("lint: load %s: %v", dir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("lint: corpus %s does not type-check: %v", dir, pkg.TypeErrors)
+	}
+	wire := NewWireSet()
+	CollectWire(pkg, wire)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		raw = append(raw, RunAnalyzer(a, pkg, wire)...)
+	}
+	kept, directiveDiags := ApplySuppressions(pkg, raw)
+	diags := append(kept, directiveDiags...)
+	SortDiagnostics(diags)
+
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.src)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+// TestRepoVetGate is the in-tree CI gate: the full analyzer suite over
+// the whole module must come back clean. Any finding here is either a
+// real determinism/concurrency/wire bug to fix or a judged exemption to
+// annotate with //lint:ignore — never something to wave through.
+func TestRepoVetGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the gate type-checks the whole module (totoro-vet runs it in CI)")
+	}
+	diags, err := RunRepo("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

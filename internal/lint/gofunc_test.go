@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+// TestGoFuncCorpus pins the gofunc analyzer's full output: every bare go
+// statement flagged, ordinary calls untouched, suppression honored.
+func TestGoFuncCorpus(t *testing.T) {
+	RunExpectTest(t, "testdata/src/gofunc", GoFunc)
+}

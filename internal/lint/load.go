@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	// Path is the package's import path ("totoro/internal/pubsub"); for
+	// directories outside the module (test corpora) it is synthesized from
+	// the directory name.
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Pkg and Info carry full type information. Pkg is non-nil even when
+	// TypeErrors is not empty (best-effort checking).
+	Pkg  *types.Package
+	Info *types.Info
+	// TypeErrors collects type-checking problems. The repo gate treats any
+	// as fatal; test corpora are expected to be error-free too.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages from source. Dependencies are
+// imported from compiled export data located via `go list -export`, which
+// resolves through the module's build cache — so the loader needs the go
+// toolchain but no third-party machinery, and sees exactly the types the
+// real build sees.
+type Loader struct {
+	// ModRoot is the module root directory (where go.mod lives).
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+
+	fset    *token.FileSet
+	ctx     build.Context
+	imp     types.ImporterFrom
+	exports map[string]string   // import path -> export data file
+	pkgs    map[string]*Package // by absolute dir
+}
+
+// NewLoader creates a loader rooted at the module containing dir (found by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		fset:    token.NewFileSet(),
+		ctx:     build.Default,
+		exports: map[string]string{},
+		pkgs:    map[string]*Package{},
+	}
+	// Analysis targets are pure Go; cgo-tagged files are excluded up front
+	// so the parser never sees import "C" magic.
+	l.ctx.CgoEnabled = false
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport).(types.ImporterFrom)
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// findModule walks up from dir to the nearest go.mod.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// lookupExport resolves an import path to its compiled export data via the
+// go toolchain (building it into the cache if needed).
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = l.ModRoot
+		out, err := cmd.Output()
+		if err != nil {
+			detail := ""
+			if ee, ok := err.(*exec.ExitError); ok {
+				detail = ": " + strings.TrimSpace(string(ee.Stderr))
+			}
+			return nil, fmt.Errorf("lint: go list -export %s: %v%s", path, err, detail)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("lint: no export data for %s", path)
+		}
+		l.exports[path] = file
+	}
+	return os.Open(file)
+}
+
+// importPathFor synthesizes the import path of a directory: module-relative
+// when inside the module, "lint.test/<base>" otherwise (test corpora in
+// temporary directories).
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "lint.test/" + filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory.
+// Files excluded by build constraints for the current GOOS/GOARCH (or by
+// cgo) are skipped, mirroring what the real build would compile. Parse
+// errors are fatal; type errors are collected in Package.TypeErrors.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.pkgs[abs]; ok {
+		return p, nil
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := l.ctx.MatchFile(abs, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %v", filepath.Join(abs, name), err)
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", abs)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		// MatchFile handles build tags but not cgo; with cgo disabled a
+		// file importing "C" is unbuildable, so skip it like the build
+		// would rather than fail type-checking on the pseudo-package.
+		if usesCgo(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", abs)
+	}
+	p := &Package{
+		Path:  l.importPathFor(abs),
+		Dir:   abs,
+		Fset:  l.fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check reports the first error as err; everything lands in TypeErrors
+	// via the callback, and the partially checked package stays usable.
+	p.Pkg, _ = conf.Check(p.Path, l.fset, files, p.Info)
+	l.pkgs[abs] = p
+	return p, nil
+}
+
+// usesCgo reports whether f imports the cgo pseudo-package "C".
+func usesCgo(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if importPathOf(imp) == "C" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+// TestMapOrderCorpus pins the maporder analyzer's full output: sends,
+// telemetry, RNG draws, float accumulation, and tie-broken selections in
+// map-range bodies flagged (including through same-package helpers); the
+// sorted-keys idiom, set building, counting, and per-key state untouched.
+func TestMapOrderCorpus(t *testing.T) {
+	RunExpectTest(t, "testdata/src/maporder", MapOrder)
+}

@@ -1,0 +1,10 @@
+package lint
+
+import "testing"
+
+// TestSeedRandCorpus pins the seedrand analyzer's full output:
+// global-source draws and wall-clock seeds flagged; explicit sources,
+// their methods, and Duration arithmetic untouched.
+func TestSeedRandCorpus(t *testing.T) {
+	RunExpectTest(t, "testdata/src/seedrand", SeedRand)
+}

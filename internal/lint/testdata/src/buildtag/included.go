@@ -1,0 +1,11 @@
+// Package buildtag is the framework corpus for build-constraint
+// filtering: sibling files excluded by a never-set tag or by cgo carry
+// wall-clock calls that must never be loaded, so the analyzed package is
+// clean.
+package buildtag
+
+import "time"
+
+func included() time.Duration {
+	return 5 * time.Millisecond
+}

@@ -1,0 +1,38 @@
+// Package envnow is the expectation corpus for the envnow analyzer: every
+// wall-clock read or timer must be flagged, Env-based time and pure time
+// arithmetic must not.
+package envnow
+
+import (
+	"time"
+
+	"totoro/internal/transport"
+)
+
+type node struct{ env transport.Env }
+
+func (n *node) bad() {
+	_ = time.Now()                           // want "time.Now is wall-clock"
+	time.Sleep(time.Millisecond)             // want "time.Sleep is wall-clock"
+	_ = time.Since(time.Time{})              // want "time.Since is wall-clock"
+	<-time.After(time.Second)                // want "time.After is wall-clock"
+	_ = time.NewTimer(time.Second)           // want "time.NewTimer is wall-clock"
+	_ = time.NewTicker(time.Second)          // want "time.NewTicker is wall-clock"
+	_ = time.AfterFunc(time.Second, func() { // want "time.AfterFunc is wall-clock"
+	})
+}
+
+func (n *node) good() {
+	// Virtual time through the Env contract, plus pure Duration arithmetic.
+	now := n.env.Now()
+	_ = now + 3*time.Millisecond
+	cancel := n.env.After(10*time.Millisecond, func() {})
+	cancel()
+	_ = time.Duration(42).Seconds()
+}
+
+func (n *node) suppressed() time.Duration {
+	//lint:ignore envnow corpus demonstrates an audited wall-clock exemption
+	time.Sleep(time.Millisecond)
+	return 0
+}

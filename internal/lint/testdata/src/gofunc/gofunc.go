@@ -1,0 +1,21 @@
+// Package gofunc is the expectation corpus for the gofunc analyzer: every
+// bare go statement must be flagged; calls through values and suppressed
+// pool internals must not.
+package gofunc
+
+func bareBad() {
+	go func() {}() // want "bare go statement bypasses the supervised worker pool"
+}
+
+func namedBad(work func()) {
+	go work() // want "bare go statement bypasses the supervised worker pool"
+}
+
+func callGood(work func()) {
+	work()
+}
+
+func suppressed(work func()) {
+	//lint:ignore gofunc corpus stand-in for the pool's own worker spawn
+	go work()
+}

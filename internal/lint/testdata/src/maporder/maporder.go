@@ -1,0 +1,140 @@
+// Package maporder is the expectation corpus for the maporder analyzer:
+// map iterations that leak order into sends, telemetry, RNG draws, float
+// accumulation, or tie-broken selections must be flagged; the sorted-keys
+// idiom and order-independent bodies must not.
+package maporder
+
+import (
+	"sort"
+
+	"totoro/internal/obs"
+	"totoro/internal/transport"
+)
+
+type node struct {
+	env   transport.Env
+	peers map[transport.Addr]bool
+}
+
+func (n *node) broadcastBad(msg any) {
+	for p := range n.peers {
+		n.env.Send(p, msg) // want "map iteration order is random per run and reaches a network send"
+	}
+}
+
+// Transitive reach: the range body only calls a same-package helper, but
+// the helper sends.
+func (n *node) notifyAll() {
+	for p := range n.peers {
+		n.ping(p) // want "reaches a network send"
+	}
+}
+
+func (n *node) ping(p transport.Addr) {
+	n.env.Send(p, "ping")
+}
+
+func (n *node) jitterBad() {
+	for range n.peers {
+		_ = n.env.Rand().Intn(10) // want "reaches an RNG draw"
+	}
+}
+
+func emitBad(reg *obs.Registry, m map[string]int64) {
+	for _, v := range m {
+		reg.Counter("x").Add(v) // want "reaches a telemetry emit"
+	}
+}
+
+func sumBad(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "reaches a floating-point accumulation"
+	}
+	return total
+}
+
+func argminBad(costs map[string]float64) string {
+	best, bestCost, first := "", 0.0, true
+	for k, c := range costs {
+		if first || c < bestCost {
+			best = k // want "selection over map iteration breaks comparison ties"
+			bestCost = c
+		}
+		first = false
+	}
+	return best
+}
+
+// The sorted-keys idiom: snapshot, sort, iterate the slice.
+func (n *node) broadcastGood(msg any) {
+	keys := make([]transport.Addr, 0, len(n.peers))
+	for p := range n.peers {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, p := range keys {
+		n.env.Send(p, msg)
+	}
+}
+
+// Order-independent bodies: set building, integer counting, per-key state.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func count(m map[string]int) int {
+	c := 0
+	for range m {
+		c++
+	}
+	return c
+}
+
+// A helper that accumulates floats on its own locals is order-independent
+// from the caller's perspective: per-key results, no cross-key folding.
+func diameters(m map[string][]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, vs := range m {
+		out[k] = mean(vs)
+	}
+	return out
+}
+
+func mean(vs []float64) float64 {
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	if len(vs) == 0 {
+		return 0
+	}
+	return s / float64(len(vs))
+}
+
+// In-place per-key updates of the ranged map itself carry no cross-key
+// state either.
+func scaleInPlace(m map[string]float64) {
+	for k := range m {
+		m[k] *= 0.5
+	}
+}
+
+func perKeyMin(dst, src map[string]int) {
+	for k, v := range src {
+		if v < dst[k] {
+			dst[k] = v // per-key state, not a selection: no tie to break
+		}
+	}
+}
+
+func (n *node) suppressedBroadcast(msg any) {
+	for p := range n.peers {
+		//lint:ignore maporder corpus exemption: delivery order asserted irrelevant
+		n.env.Send(p, msg)
+	}
+}

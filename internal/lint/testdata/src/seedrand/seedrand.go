@@ -1,0 +1,43 @@
+// Package seedrand is the expectation corpus for the seedrand analyzer:
+// global-source draws and wall-clock seeds must be flagged; explicitly
+// seeded sources and their methods must not.
+package seedrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalBad() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global source"
+}
+
+func globalShuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "rand.Shuffle draws from the process-global source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func clockSeedBad() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from the wall clock" "rand.NewSource seeded from the wall clock"
+}
+
+func explicitGood() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func methodsGood(r *rand.Rand) int {
+	// Draws from an explicit source are the blessed path.
+	return r.Intn(10)
+}
+
+func durationArithGood(r *rand.Rand, base time.Duration) time.Duration {
+	// Methods on Duration values are pure arithmetic, not clock reads —
+	// base may well hold virtual time.
+	return base + time.Duration(r.Int63n(int64(base.Milliseconds())+1))
+}
+
+func suppressed() int {
+	//lint:ignore seedrand corpus demonstrates an audited exemption
+	return rand.Intn(10)
+}

@@ -1,0 +1,26 @@
+// Package suppress is the framework corpus for //lint:ignore handling:
+// same-line and line-above placement suppress; a directive without a
+// reason is itself a finding and suppresses nothing; a directive that
+// matches nothing is a stale-suppression finding.
+package suppress
+
+import "time"
+
+func sameLine() {
+	time.Sleep(time.Millisecond) //lint:ignore envnow audited: same-line suppression
+}
+
+func lineAbove() {
+	//lint:ignore envnow audited: line-above suppression
+	time.Sleep(time.Millisecond)
+}
+
+func wrongAnalyzer() {
+	//lint:ignore gofunc directive names the wrong analyzer // want "suppresses nothing; delete it"
+	time.Sleep(time.Millisecond) // want "time.Sleep is wall-clock"
+}
+
+func stale() {
+	//lint:ignore envnow nothing beneath this line reads the clock // want "suppresses nothing; delete it"
+	_ = time.Millisecond
+}

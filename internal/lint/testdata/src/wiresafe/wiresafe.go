@@ -1,0 +1,95 @@
+// Package wiresafe is the expectation corpus for the wiresafe analyzer:
+// gob-hostile fields in registered wire types and unregistered Env.Send
+// payloads must be flagged; lossless registered types must not.
+package wiresafe
+
+import (
+	"encoding/gob"
+	"time"
+
+	"totoro/internal/transport"
+)
+
+// Clean round-trips losslessly: exported fields of gob-friendly types.
+type Clean struct {
+	ID   string
+	Vals []float64
+	Tags map[string]string
+}
+
+type BadFunc struct {
+	Name string
+	Fn   func() // want "wire field BadFunc.Fn has func type"
+}
+
+type BadChan struct {
+	Name string
+	C    chan int // want "wire field BadChan.C has chan type"
+}
+
+type Dropped struct {
+	Name  string
+	count int // want "wire field Dropped.count is unexported; gob drops it silently"
+}
+
+type Opaque struct { // want "wire type Opaque has no exported fields; gob refuses to encode it"
+	a, b int
+}
+
+type Handlerish interface{ Handle() }
+
+type BadIface struct {
+	Name string
+	H    Handlerish // want "wire field BadIface.H is a non-empty interface"
+}
+
+// The walk is transitive: Outer is registered, the defect lives in Inner.
+type Outer struct {
+	In Inner
+}
+
+type Inner struct {
+	OK string
+	Fn func() // want "wire field Outer.In.Fn has func type"
+}
+
+// Stamped is clean even though time.Time has unexported fields: it
+// provides its own gob encoding, so field-level analysis does not apply.
+type Stamped struct {
+	ID string
+	At time.Time
+}
+
+// AnyPayload is clean: an empty interface field is gob's intended opaque
+// payload slot (the concrete values carry their own registrations).
+type AnyPayload struct {
+	Kind string
+	Body any
+}
+
+func init() {
+	gob.Register(Clean{})
+	gob.Register(BadFunc{})
+	gob.Register(BadChan{})
+	gob.Register(Dropped{})
+	gob.Register(Opaque{})
+	gob.Register(BadIface{})
+	gob.Register(Outer{})
+	gob.Register(Stamped{})
+	gob.Register(AnyPayload{})
+}
+
+// Unregistered compiles and moves fine under simnet, but tcpnet's gob
+// decoder has never heard of it.
+type Unregistered struct{ ID string }
+
+func send(env transport.Env, to transport.Addr) {
+	env.Send(to, Clean{ID: "ok"})
+	env.Send(to, &Clean{ID: "ptr-ok"})     // gob flattens pointers; value registration vouches
+	env.Send(to, Unregistered{ID: "nope"}) // want "Unregistered is sent over the wire but never gob-registered"
+}
+
+func suppressedSend(env transport.Env, to transport.Addr) {
+	//lint:ignore wiresafe corpus exemption: payload registered by the embedding app at startup
+	env.Send(to, Unregistered{ID: "later"})
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireSafe guards the gob wire contract. Under simnet messages move as
+// in-memory values, so a gob-unsafe wire type or a never-registered
+// payload "works" in every simulation and only fails once the same binary
+// runs over tcpnet — the worst possible place to discover it. Two checks:
+//
+//   - every gob-registered wire type declared in the package under
+//     analysis must round-trip through gob losslessly: no func or chan
+//     fields, no unexported fields (gob drops them silently — state that
+//     exists under simnet and vanishes over TCP), no structs whose fields
+//     are all unexported (gob refuses those outright), and no non-empty
+//     interface fields (each concrete implementation would need its own
+//     registration that nothing enforces);
+//   - every concrete in-module struct handed to transport.Env.Send must
+//     appear in the repo-wide registration set (internal/wire.Register,
+//     totoro.RegisterWire, or a direct gob.Register call).
+var WireSafe = &Analyzer{
+	Name: "wiresafe",
+	Doc:  "registered wire types must be gob-lossless and Env.Send payloads must be gob-registered",
+	Run:  runWireSafe,
+}
+
+// WireSet is the repo-wide set of gob-registered wire types, keyed by
+// canonical type string (object identity does not hold between a package
+// loaded from source and the same package imported from export data).
+type WireSet struct {
+	entries map[string]WireEntry
+}
+
+// WireEntry records one registered type and the registration site.
+type WireEntry struct {
+	Type types.Type
+	Pos  token.Position
+}
+
+// NewWireSet returns an empty set.
+func NewWireSet() *WireSet {
+	return &WireSet{entries: map[string]WireEntry{}}
+}
+
+// wireKey canonicalizes a type for set membership: pointers are flattened
+// (gob does the same on the wire) and the key is the fully qualified type
+// string of the value type.
+func wireKey(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	return types.TypeString(t, nil)
+}
+
+// Add records a registered type (first registration site wins).
+func (w *WireSet) Add(t types.Type, pos token.Position) {
+	k := wireKey(t)
+	if _, ok := w.entries[k]; !ok {
+		w.entries[k] = WireEntry{Type: t, Pos: pos}
+	}
+}
+
+// Has reports whether t (or its pointee) is registered.
+func (w *WireSet) Has(t types.Type) bool {
+	_, ok := w.entries[wireKey(t)]
+	return ok
+}
+
+// Len returns the number of registered types.
+func (w *WireSet) Len() int { return len(w.entries) }
+
+// Entries returns all registered types in stable (key-sorted) order.
+func (w *WireSet) Entries() []WireEntry {
+	keys := make([]string, 0, len(w.entries))
+	for k := range w.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]WireEntry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, w.entries[k])
+	}
+	return out
+}
+
+// CollectWire scans one package for gob registration calls — gob.Register,
+// gob.RegisterName, and internal/wire.RegisterPayload — and records the
+// static types of their value arguments. The driver runs this over every
+// package before any analyzer, so registrations made in one package (the
+// internal/wire hub) vouch for types declared in another.
+func CollectWire(pkg *Package, ws *WireSet) {
+	pass := &Pass{Package: pkg}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			argIdx := -1
+			switch {
+			case fn.Pkg().Path() == "encoding/gob" && fn.Name() == "Register":
+				argIdx = 0
+			case fn.Pkg().Path() == "encoding/gob" && fn.Name() == "RegisterName":
+				argIdx = 1
+			case fn.Name() == "RegisterPayload" && strings.HasSuffix(fn.Pkg().Path(), "/wire"):
+				argIdx = 0
+			}
+			if argIdx < 0 || len(call.Args) <= argIdx {
+				return true
+			}
+			if t := pkg.Info.TypeOf(call.Args[argIdx]); t != nil {
+				ws.Add(t, pkg.Fset.Position(call.Args[argIdx].Pos()))
+			}
+			return true
+		})
+	}
+}
+
+func runWireSafe(pass *Pass) {
+	if pass.Wire == nil {
+		return
+	}
+	// Check the gob-safety of registered wire types declared here.
+	for _, e := range pass.Wire.Entries() {
+		named := namedStructOf(e.Type)
+		if named == nil {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != pass.Path {
+			continue // declared elsewhere; checked when that package runs
+		}
+		st := named.Underlying().(*types.Struct)
+		checkGobStruct(pass, obj.Name(), obj.Pos(), st, map[string]bool{wireKey(named): true})
+	}
+	// Check that Env.Send payloads are registered.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Name() != "Send" || len(call.Args) != 2 {
+				return true
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil || !isTransportEnv(recv.Type()) {
+				return true
+			}
+			t := pass.Info.TypeOf(call.Args[1])
+			if t == nil {
+				return true
+			}
+			named := namedStructOf(t)
+			if named == nil || named.Obj().Pkg() == nil {
+				return true // interface pass-through, basics, slices: not checkable here
+			}
+			if !strings.HasPrefix(named.Obj().Pkg().Path(), "totoro") {
+				return true
+			}
+			if !pass.Wire.Has(named) {
+				pass.Reportf(call.Args[1].Pos(),
+					"%s is sent over the wire but never gob-registered; add it to internal/wire.Register (decodes under simnet, fails over tcpnet)",
+					types.TypeString(named, nil))
+			}
+			return true
+		})
+	}
+}
+
+// isTransportEnv reports whether t is the transport.Env interface.
+func isTransportEnv(t types.Type) bool {
+	s := types.TypeString(t, nil)
+	return strings.HasSuffix(s, "/transport.Env") || s == "transport.Env"
+}
+
+// namedStructOf unwraps pointers and returns t as a named struct type, or
+// nil when t is anything else.
+func namedStructOf(t types.Type) *types.Named {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// hasCustomGobEncoding reports whether t (or *t) provides its own gob or
+// binary encoding, making field-level analysis moot (time.Time et al.).
+func hasCustomGobEncoding(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "MarshalBinary"} {
+		if obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkGobStruct walks the fields of a registered wire struct and reports
+// anything gob cannot carry losslessly. at is the position the finding is
+// anchored to: the field declaration while inside the package under
+// analysis, the outermost local field once the walk crosses into imported
+// types (whose positions come from export data).
+func checkGobStruct(pass *Pass, path string, at token.Pos, st *types.Struct, seen map[string]bool) {
+	exported := 0
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Exported() {
+			exported++
+		}
+	}
+	if st.NumFields() > 0 && exported == 0 {
+		pass.Reportf(at, "wire type %s has no exported fields; gob refuses to encode it", path)
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		fieldPath := path + "." + field.Name()
+		fieldAt := at
+		if field.Pkg() != nil && field.Pkg().Path() == pass.Path {
+			fieldAt = field.Pos()
+		}
+		if !field.Exported() {
+			pass.Reportf(fieldAt, "wire field %s is unexported; gob drops it silently, so its state vanishes over tcpnet", fieldPath)
+			continue
+		}
+		checkGobType(pass, fieldPath, fieldAt, field.Type(), seen)
+	}
+}
+
+// checkGobType reports gob-hostile types reachable from a wire field.
+func checkGobType(pass *Pass, path string, at token.Pos, t types.Type, seen map[string]bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Signature:
+		pass.Reportf(at, "wire field %s has func type; gob cannot encode functions", path)
+	case *types.Chan:
+		pass.Reportf(at, "wire field %s has chan type; gob cannot encode channels", path)
+	case *types.Interface:
+		if !u.Empty() {
+			pass.Reportf(at, "wire field %s is a non-empty interface; every concrete implementation needs its own gob registration — prefer a concrete type", path)
+		}
+	case *types.Pointer:
+		checkGobType(pass, path, at, u.Elem(), seen)
+	case *types.Slice:
+		checkGobType(pass, path+"[]", at, u.Elem(), seen)
+	case *types.Array:
+		checkGobType(pass, path+"[]", at, u.Elem(), seen)
+	case *types.Map:
+		checkGobType(pass, path+"[key]", at, u.Key(), seen)
+		checkGobType(pass, path+"[value]", at, u.Elem(), seen)
+	case *types.Struct:
+		k := wireKey(t)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		if hasCustomGobEncoding(t) {
+			return
+		}
+		checkGobStruct(pass, path, at, u, seen)
+	}
+}

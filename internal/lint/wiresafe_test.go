@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+// TestWireSafeCorpus pins the wiresafe analyzer's full output: func,
+// chan, unexported, all-unexported, and non-empty-interface fields of
+// registered types flagged (transitively); unregistered Env.Send payloads
+// flagged; custom-gob types, empty-interface payload slots, and
+// registered payloads untouched.
+func TestWireSafeCorpus(t *testing.T) {
+	RunExpectTest(t, "testdata/src/wiresafe", WireSafe)
+}

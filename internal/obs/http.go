@@ -10,6 +10,7 @@ import (
 //
 //	GET /metrics       -> Snapshot as JSON (sorted keys)
 //	GET /metrics/text  -> Snapshot.String() (the deterministic text form)
+//	GET /metrics/prom  -> Snapshot.PromText() (Prometheus text format 0.0.4)
 //	GET /metrics/trace -> trace events as a JSON array, oldest first
 //
 // snap and trace are called per request, so the handler can serve either
@@ -25,6 +26,10 @@ func Handler(snap func() Snapshot, trace func() []Event) http.Handler {
 	mux.HandleFunc("/metrics/text", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(snap().String()))
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		w.Write([]byte(snap().PromText()))
 	})
 	mux.HandleFunc("/metrics/trace", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PromText renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): every metric prefixed totoro_, counters and gauges as
+// single samples, histograms as cumulative _bucket{le="..."} series with
+// the closing +Inf bucket, _sum, and _count. Names are emitted in sorted
+// order, so two renders of the same snapshot are byte-identical — the
+// same determinism contract as Snapshot.String, in a format any
+// Prometheus scraper ingests directly.
+func (s Snapshot) PromText() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(&b, "%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(&b, "%s %s\n", pn, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	return b.String()
+}
+
+// PromContentType is the scrape Content-Type for the text exposition
+// format rendered by PromText.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a registry name ("net.msgs_in") onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:], prefixed totoro_.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("totoro_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// form, no exponent surprises for the common cases.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

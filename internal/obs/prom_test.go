@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPromText pins the Prometheus exposition: TYPE lines, totoro_
+// prefix, name sanitization, cumulative histogram buckets with the
+// closing +Inf equal to _count, and byte-identical renders.
+func TestPromText(t *testing.T) {
+	r := New(0)
+	r.Counter("net.msgs_in").Add(7)
+	r.Gauge("fl.accuracy").Set(0.25)
+	h := r.Histogram("ring.hops", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 8, 9} {
+		h.Observe(v)
+	}
+
+	text := r.Snapshot().PromText()
+	wantLines := []string{
+		"# TYPE totoro_net_msgs_in counter",
+		"totoro_net_msgs_in 7",
+		"# TYPE totoro_fl_accuracy gauge",
+		"totoro_fl_accuracy 0.25",
+		"# TYPE totoro_ring_hops histogram",
+		`totoro_ring_hops_bucket{le="1"} 1`,
+		`totoro_ring_hops_bucket{le="2"} 3`,
+		`totoro_ring_hops_bucket{le="4"} 4`,
+		`totoro_ring_hops_bucket{le="+Inf"} 6`,
+		"totoro_ring_hops_sum 23.5",
+		"totoro_ring_hops_count 6",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing line %q\ngot:\n%s", want, text)
+		}
+	}
+	if text != r.Snapshot().PromText() {
+		t.Error("two renders of the same snapshot differ")
+	}
+
+	// Cumulative invariant: bucket values never decrease, and the +Inf
+	// bucket equals _count, for every histogram line set.
+	var prev int64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "totoro_ring_hops_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+}
+
+// TestPromHTTP verifies the /metrics/prom route serves the exposition
+// with the scrape content type.
+func TestPromHTTP(t *testing.T) {
+	r := New(0)
+	r.Counter("relay.delivered").Add(2)
+
+	addr, shutdown, err := StartServer("127.0.0.1:0", RegistryHandler(r))
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addr + "/metrics/prom")
+	if err != nil {
+		t.Fatalf("GET /metrics/prom: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "totoro_relay_delivered 2\n") {
+		t.Errorf("body missing counter sample:\n%s", body)
+	}
+}

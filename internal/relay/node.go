@@ -2,6 +2,7 @@ package relay
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"totoro/internal/bandit"
@@ -73,6 +74,9 @@ type Node struct {
 	cfg Config
 
 	links map[transport.Addr]*linkStats
+	// order is the sorted neighbor iteration order: route()'s argmin scans
+	// it so cost ties break toward the same neighbor in every run.
+	order []transport.Addr
 	// jSelf is this node's optimistic cost-to-destination table.
 	jSelf map[transport.Addr]float64
 	// jNeighbor is the last advertised table per neighbor.
@@ -116,6 +120,11 @@ func New(env transport.Env, cfg Config, deliver func(Data)) *Node {
 	for _, nb := range cfg.Neighbors {
 		n.links[nb] = &linkStats{}
 	}
+	n.order = make([]transport.Addr, 0, len(n.links))
+	for nb := range n.links {
+		n.order = append(n.order, nb)
+	}
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
 	if cfg.AdvertiseInterval > 0 {
 		var tick func()
 		tick = func() {
@@ -249,7 +258,7 @@ func (n *Node) route(d Data) {
 
 	best := transport.None
 	bestCost := math.Inf(1)
-	for nb := range n.links {
+	for _, nb := range n.order {
 		if visited[nb] && nb != d.Dst {
 			continue
 		}

@@ -10,14 +10,15 @@ import (
 
 	"totoro/internal/multiring"
 	"totoro/internal/pubsub"
+	"totoro/internal/relay"
 	"totoro/internal/ring"
 )
 
 var once sync.Once
 
-// Register installs gob registrations for all overlay, pub/sub, and
-// multiring message types plus the common payload primitives. It is
-// idempotent.
+// Register installs gob registrations for all overlay, pub/sub,
+// multiring, and relay message types plus the common payload primitives.
+// It is idempotent.
 func Register() {
 	once.Do(func() {
 		// Overlay (Pastry-style ring).
@@ -42,6 +43,10 @@ func Register() {
 		gob.Register(pubsub.LeaveMsg{})
 		// Multi-ring packets.
 		gob.Register(multiring.Packet{})
+		// Relay frames (bandit-routed data plane).
+		gob.Register(relay.Data{})
+		gob.Register(relay.Ack{})
+		gob.Register(relay.Advert{})
 		// Common payload primitives carried inside envelopes/multicasts.
 		gob.Register([]float64(nil))
 		gob.Register(map[string]string(nil))
