@@ -48,7 +48,9 @@ type AppSpec struct {
 	// MaxRounds bounds the run.
 	MaxRounds int
 	// Compressor names the update compression policy: "", "none", "topk",
-	// or "int8" (owner-specified compression function, Table 2 Broadcast).
+	// "int8", "f32", or "delta-int8" (owner-specified compression function,
+	// Table 2 Broadcast). "f32" and "delta-int8" map to real codec-v2 wire
+	// encodings, so their byte costs are exact over tcpnet, not estimates.
 	Compressor string
 	// TopK is the sparsification budget when Compressor == "topk".
 	TopK int
@@ -83,6 +85,10 @@ func SpecFromWorkload(id AppID, app *workload.App) AppSpec {
 		comp, topk = "topk", c.K
 	case fl.QuantizeInt8:
 		comp = "int8"
+	case fl.Float32:
+		comp = "f32"
+	case fl.DeltaInt8:
+		comp = "delta-int8"
 	}
 	return AppSpec{
 		ID:             id,
@@ -112,6 +118,10 @@ func (s AppSpec) compressor() fl.Compressor {
 		return fl.TopK{K: k}
 	case "int8":
 		return fl.QuantizeInt8{}
+	case "f32":
+		return fl.Float32{}
+	case "delta-int8":
+		return fl.DeltaInt8{}
 	}
 	panic(fmt.Sprintf("totoro: unknown compressor %q", s.Compressor))
 }

@@ -40,6 +40,7 @@ func main() {
 		publish   = flag.String("publish", "", "optional message to broadcast after joining")
 		agg       = flag.Int("aggregate", 0, "optional value to contribute to aggregation round 1")
 		metrics   = flag.String("metrics", "", "HTTP address serving /metrics, /metrics/text, /metrics/prom, /metrics/trace (empty = off)")
+		gobWire   = flag.Bool("gob-wire", false, "send with the legacy gob wire format instead of wire v2 (reads auto-detect either, so mixed fleets interoperate)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 	nodeID := ids.FromBytes(idBytes[:])
 
 	var engine *totoro.Engine
-	node, err := tcpnet.Listen(*listen, func(e transport.Env) transport.Handler {
+	node, err := tcpnet.ListenConfig(*listen, tcpnet.Config{GobWire: *gobWire}, func(e transport.Env) transport.Handler {
 		engine = totoro.NewEngine(e, ring.Contact{ID: nodeID, Addr: e.Self()},
 			totoro.Options{Ring: ring.Config{B: 4}})
 		engine.SetCallbacks(totoro.Callbacks{

@@ -125,6 +125,17 @@ func (f *forest) counterSum(name string) int64 {
 // mergedTrace is the fleet-wide trace timeline in virtual-time order.
 func (f *forest) mergedTrace() []obs.Event { return f.Net.MergedTrace() }
 
+// mergedSnapshot merges every node's telemetry registry into one fleet
+// snapshot. Paired with Snapshot.Delta it gives windowed measurements
+// (fig 7's maintenance traffic) without resetting live counters.
+func (f *forest) mergedSnapshot() obs.Snapshot {
+	snaps := make([]obs.Snapshot, len(f.Envs))
+	for i, env := range f.Envs {
+		snaps[i] = env.Metrics().Snapshot()
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
 // subscribeDistinct subscribes k distinct random nodes to topic and waits
 // for the tree to settle; it returns the chosen indices.
 func (f *forest) subscribeDistinct(topic ids.ID, k int) []int {

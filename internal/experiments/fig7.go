@@ -73,7 +73,11 @@ func trafficRun(o Options, nodes, trees, subsPerTree, window int) (tcpPerNode, u
 		topic := ids.Hash("fig7-app", fmt.Sprint(t))
 		f.subscribeDistinct(topic, subsPerTree)
 	}
-	f.Net.ResetTraffic()
+	// Snapshot-delta measurement: freeze the fleet's cumulative telemetry
+	// before the window and subtract it afterwards, so tree construction
+	// traffic is excluded without resetting the live counters other
+	// figures may still read.
+	before := f.mergedSnapshot()
 	// The measurement window (in seconds): the overlay probes its leaf sets
 	// every 15 seconds (slow background maintenance) while tree keep-alives
 	// tick every second on their own timers.
@@ -87,8 +91,9 @@ func trafficRun(o Options, nodes, trees, subsPerTree, window int) (tcpPerNode, u
 	}
 	// Traffic totals come from the per-node telemetry registries (the same
 	// counters a live node would expose over /metrics).
-	bytes := f.counterSum(simnet.CtrBytesOut)
-	msgs := f.counterSum(simnet.CtrMsgsOut)
+	win := f.mergedSnapshot().Delta(before)
+	bytes := win.Counters[simnet.CtrBytesOut]
+	msgs := win.Counters[simnet.CtrMsgsOut]
 	n := float64(nodes)
 	tcpPerNode = (float64(bytes) + float64(msgs)*tcpOverhead) / n
 	udpPerNode = (float64(bytes) + float64(msgs)*udpOverhead) / n

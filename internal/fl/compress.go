@@ -3,6 +3,8 @@ package fl
 import (
 	"math"
 	"sort"
+
+	"totoro/internal/wire/codec"
 )
 
 // Compressor lossily compresses an update before it is shipped over the
@@ -85,4 +87,34 @@ func (QuantizeInt8) Apply(v []float64) ([]float64, int) {
 		out[i] = q * scale
 	}
 	return out, len(v) + 8 // one byte per weight + the scale
+}
+
+// Float32 ships updates as the codec.Float32s wire type: half the bytes
+// of a dense update at float32 precision. Unlike the simulator-only
+// compressors above, its wire form is a real codec-v2 encoding, so the
+// simulated byte cost and the tcpnet frame size agree exactly.
+type Float32 struct{}
+
+// Name implements Compressor.
+func (Float32) Name() string { return "f32" }
+
+// Apply implements Compressor.
+func (Float32) Apply(v []float64) ([]float64, int) {
+	f := codec.PackF32(v)
+	return f.Dense(), f.WireSize()
+}
+
+// DeltaInt8 ships updates as the codec.QDelta wire type: delta-coded,
+// int8-quantized — one byte per coordinate. The reconstruction is the
+// receiver's DPCM decode, so simnet training sees exactly what a tcpnet
+// receiver would.
+type DeltaInt8 struct{}
+
+// Name implements Compressor.
+func (DeltaInt8) Name() string { return "delta-int8" }
+
+// Apply implements Compressor.
+func (DeltaInt8) Apply(v []float64) ([]float64, int) {
+	q := codec.PackQDelta(v)
+	return q.Dense(), q.WireSize()
 }

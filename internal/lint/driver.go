@@ -24,6 +24,11 @@ var (
 		"internal/multiring": true,
 		"internal/relay":     true,
 		"internal/fl":        true,
+		// The wire layer: registration hub and the v2 codec. Both sides of
+		// every registered type's contract (gob losslessness, codec
+		// fallback parity) are checked where the type or codec lives.
+		"internal/wire":       true,
+		"internal/wire/codec": true,
 	}
 	// deterministicDirs additionally covers the simulator core and the
 	// experiment harness, whose outputs must be bit-identical across

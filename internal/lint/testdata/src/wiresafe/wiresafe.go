@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"totoro/internal/transport"
+	"totoro/internal/wire/codec"
 )
 
 // Clean round-trips losslessly: exported fields of gob-friendly types.
@@ -77,6 +78,40 @@ func init() {
 	gob.Register(Outer{})
 	gob.Register(Stamped{})
 	gob.Register(AnyPayload{})
+}
+
+// --- codec-v2 registrations ---
+// (This corpus is loaded and type-checked by the analyzer harness, never
+// executed, so the nil enc/dec funcs below are fine.)
+
+// CodecClean holds both halves of the v2 contract: a hand-rolled codec
+// and the gob registration that backs the fallback path.
+type CodecClean struct {
+	N int
+	V []float64
+}
+
+// CodecNoFallback has a v2 codec but no gob registration, so the tagged
+// fallback and legacy GobWire peers cannot carry it.
+type CodecNoFallback struct { // want "CodecNoFallback has a codec-v2 encoder but no gob registration"
+	N int
+}
+
+// CodecBad is codec- and gob-registered but structurally uncodecable.
+type CodecBad struct {
+	Name string
+	Fn   func() // want "wire field CodecBad.Fn has func type"
+}
+
+func init() {
+	codec.RegisterCodec(64, CodecClean{}, nil, nil)
+	codec.RegisterCodec(65, CodecNoFallback{}, nil, nil)
+	codec.RegisterCodec(66, CodecBad{}, nil, nil)
+	// Unnamed codec types (primitives, slices) have no declaration to
+	// anchor findings to; the dynamic certification covers them.
+	codec.RegisterCodec(67, []int32(nil), nil, nil)
+	gob.Register(CodecClean{})
+	gob.Register(CodecBad{})
 }
 
 // Unregistered compiles and moves fine under simnet, but tcpnet's gob

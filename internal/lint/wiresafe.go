@@ -8,10 +8,11 @@ import (
 	"strings"
 )
 
-// WireSafe guards the gob wire contract. Under simnet messages move as
-// in-memory values, so a gob-unsafe wire type or a never-registered
-// payload "works" in every simulation and only fails once the same binary
-// runs over tcpnet — the worst possible place to discover it. Two checks:
+// WireSafe guards the wire contract — gob (the fallback encoding) and
+// codec v2 (the hot path). Under simnet messages move as in-memory
+// values, so a wire-unsafe type or a never-registered payload "works" in
+// every simulation and only fails once the same binary runs over tcpnet —
+// the worst possible place to discover it. Three checks:
 //
 //   - every gob-registered wire type declared in the package under
 //     analysis must round-trip through gob losslessly: no func or chan
@@ -22,18 +23,27 @@ import (
 //     registration that nothing enforces);
 //   - every concrete in-module struct handed to transport.Env.Send must
 //     appear in the repo-wide registration set (internal/wire.Register,
-//     totoro.RegisterWire, or a direct gob.Register call).
+//     totoro.RegisterWire, or a direct gob.Register call);
+//   - every codec-v2-registered type (wire/codec register/RegisterCodec)
+//     must be structurally encodable by the same rules AND also be
+//     gob-registered — the tagged gob fallback and legacy GobWire peers
+//     must be able to carry every value a v2 codec can, or mixed fleets
+//     diverge. The static check is paired with the dynamic one:
+//     codec.CertifyLossless round-trips randomized instances of the same
+//     registry in the tests.
 var WireSafe = &Analyzer{
 	Name: "wiresafe",
-	Doc:  "registered wire types must be gob-lossless and Env.Send payloads must be gob-registered",
+	Doc:  "registered wire types must be lossless under gob and codec v2, Env.Send payloads must be registered, and codec types need gob fallback parity",
 	Run:  runWireSafe,
 }
 
-// WireSet is the repo-wide set of gob-registered wire types, keyed by
+// WireSet is the repo-wide set of registered wire types — gob
+// registrations and codec-v2 registrations tracked separately — keyed by
 // canonical type string (object identity does not hold between a package
 // loaded from source and the same package imported from export data).
 type WireSet struct {
 	entries map[string]WireEntry
+	codecs  map[string]WireEntry
 }
 
 // WireEntry records one registered type and the registration site.
@@ -44,7 +54,7 @@ type WireEntry struct {
 
 // NewWireSet returns an empty set.
 func NewWireSet() *WireSet {
-	return &WireSet{entries: map[string]WireEntry{}}
+	return &WireSet{entries: map[string]WireEntry{}, codecs: map[string]WireEntry{}}
 }
 
 // wireKey canonicalizes a type for set membership: pointers are flattened
@@ -78,25 +88,50 @@ func (w *WireSet) Has(t types.Type) bool {
 // Len returns the number of registered types.
 func (w *WireSet) Len() int { return len(w.entries) }
 
-// Entries returns all registered types in stable (key-sorted) order.
-func (w *WireSet) Entries() []WireEntry {
-	keys := make([]string, 0, len(w.entries))
-	for k := range w.entries {
+// AddCodec records a codec-v2 registration (first site wins).
+func (w *WireSet) AddCodec(t types.Type, pos token.Position) {
+	k := wireKey(t)
+	if _, ok := w.codecs[k]; !ok {
+		w.codecs[k] = WireEntry{Type: t, Pos: pos}
+	}
+}
+
+// HasCodec reports whether t (or its pointee) has a codec-v2 registration.
+func (w *WireSet) HasCodec(t types.Type) bool {
+	_, ok := w.codecs[wireKey(t)]
+	return ok
+}
+
+// CodecLen returns the number of codec-v2 registered types.
+func (w *WireSet) CodecLen() int { return len(w.codecs) }
+
+// Entries returns all gob-registered types in stable (key-sorted) order.
+func (w *WireSet) Entries() []WireEntry { return sortedEntries(w.entries) }
+
+// CodecEntries returns all codec-v2 registered types in stable order.
+func (w *WireSet) CodecEntries() []WireEntry { return sortedEntries(w.codecs) }
+
+func sortedEntries(m map[string]WireEntry) []WireEntry {
+	keys := make([]string, 0, len(m))
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	out := make([]WireEntry, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, w.entries[k])
+		out = append(out, m[k])
 	}
 	return out
 }
 
-// CollectWire scans one package for gob registration calls — gob.Register,
-// gob.RegisterName, and internal/wire.RegisterPayload — and records the
-// static types of their value arguments. The driver runs this over every
-// package before any analyzer, so registrations made in one package (the
-// internal/wire hub) vouch for types declared in another.
+// CollectWire scans one package for wire registration calls — gob.Register,
+// gob.RegisterName, internal/wire.RegisterPayload, and the codec-v2
+// registrations (wire/codec's register and RegisterCodec, whose explicit
+// prototype argument exists precisely so this pass can see the static
+// type) — and records the static types of their value arguments. The
+// driver runs this over every package before any analyzer, so
+// registrations made in one package (the internal/wire hub, the codec
+// package's init) vouch for types declared in another.
 func CollectWire(pkg *Package, ws *WireSet) {
 	pass := &Pass{Package: pkg}
 	for _, f := range pkg.Files {
@@ -109,7 +144,7 @@ func CollectWire(pkg *Package, ws *WireSet) {
 			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			argIdx := -1
+			argIdx, codec := -1, false
 			switch {
 			case fn.Pkg().Path() == "encoding/gob" && fn.Name() == "Register":
 				argIdx = 0
@@ -117,12 +152,19 @@ func CollectWire(pkg *Package, ws *WireSet) {
 				argIdx = 1
 			case fn.Name() == "RegisterPayload" && strings.HasSuffix(fn.Pkg().Path(), "/wire"):
 				argIdx = 0
+			case (fn.Name() == "register" || fn.Name() == "RegisterCodec") &&
+				strings.HasSuffix(fn.Pkg().Path(), "/wire/codec"):
+				argIdx, codec = 1, true // (tag, prototype, enc, dec)
 			}
 			if argIdx < 0 || len(call.Args) <= argIdx {
 				return true
 			}
 			if t := pkg.Info.TypeOf(call.Args[argIdx]); t != nil {
-				ws.Add(t, pkg.Fset.Position(call.Args[argIdx].Pos()))
+				if codec {
+					ws.AddCodec(t, pkg.Fset.Position(call.Args[argIdx].Pos()))
+				} else {
+					ws.Add(t, pkg.Fset.Position(call.Args[argIdx].Pos()))
+				}
 			}
 			return true
 		})
@@ -145,6 +187,30 @@ func runWireSafe(pass *Pass) {
 		}
 		st := named.Underlying().(*types.Struct)
 		checkGobStruct(pass, obj.Name(), obj.Pos(), st, map[string]bool{wireKey(named): true})
+	}
+	// Check codec-v2 registrations declared here: the same structural
+	// losslessness rules apply (the hand-rolled encoders carry exported
+	// fields only, and funcs/chans/non-empty interfaces are uncodecable),
+	// plus fallback parity — a codec type without a gob registration
+	// cannot ride the tagged fallback or reach a legacy GobWire peer.
+	// Unnamed codec types (primitives, slices, maps) have no declaration
+	// site to anchor to; codec.CertifyLossless covers them dynamically.
+	for _, e := range pass.Wire.CodecEntries() {
+		named := namedStructOf(e.Type)
+		if named == nil {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != pass.Path {
+			continue
+		}
+		st := named.Underlying().(*types.Struct)
+		checkGobStruct(pass, obj.Name(), obj.Pos(), st, map[string]bool{wireKey(named): true})
+		if !pass.Wire.Has(named) {
+			pass.Reportf(obj.Pos(),
+				"%s has a codec-v2 encoder but no gob registration; the gob fallback and legacy GobWire peers cannot carry it — add it to internal/wire.Register (or gob.Register alongside RegisterCodec)",
+				types.TypeString(named, nil))
+		}
 	}
 	// Check that Env.Send payloads are registered.
 	for _, f := range pass.Files {

@@ -5,8 +5,9 @@ import "testing"
 // TestWireSafeCorpus pins the wiresafe analyzer's full output: func,
 // chan, unexported, all-unexported, and non-empty-interface fields of
 // registered types flagged (transitively); unregistered Env.Send payloads
-// flagged; custom-gob types, empty-interface payload slots, and
-// registered payloads untouched.
+// flagged; codec-v2 registrations without gob fallback parity flagged;
+// custom-gob types, empty-interface payload slots, registered payloads,
+// and unnamed codec prototypes untouched.
 func TestWireSafeCorpus(t *testing.T) {
 	RunExpectTest(t, "testdata/src/wiresafe", WireSafe)
 }

@@ -282,6 +282,43 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	return s
 }
 
+// Delta returns the change from prev to s: counters and histogram tallies
+// are subtracted (an instrument absent from prev counts from zero), gauges
+// keep s's current value (they are levels, not totals). Experiments use it
+// to report per-phase or per-round movement from cumulative registries
+// without resetting live counters. Neither receiver nor argument is
+// modified.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		d := HistSnapshot{
+			Bounds: append([]float64(nil), h.Bounds...),
+			Counts: append([]int64(nil), h.Counts...),
+			Count:  h.Count,
+			Sum:    h.Sum,
+		}
+		if p, ok := prev.Histograms[name]; ok && len(p.Counts) == len(d.Counts) {
+			for i := range d.Counts {
+				d.Counts[i] -= p.Counts[i]
+			}
+			d.Count -= p.Count
+			d.Sum -= p.Sum
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
 // MergeSnapshots sums a fleet of per-node snapshots into one.
 func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	out := Snapshot{

@@ -115,6 +115,43 @@ func TestSnapshotMergeAndString(t *testing.T) {
 	}
 }
 
+func TestSnapshotDelta(t *testing.T) {
+	r := New(0)
+	r.Counter("net.bytes_out").Add(100)
+	r.Gauge("fl.accuracy").Set(0.5)
+	r.Histogram("hops", HopBuckets).Observe(3)
+	prev := r.Snapshot()
+
+	r.Counter("net.bytes_out").Add(40)
+	r.Counter("net.msgs_out").Add(7) // born after prev
+	r.Gauge("fl.accuracy").Set(0.8)
+	r.Histogram("hops", HopBuckets).Observe(5)
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if d.Counters["net.bytes_out"] != 40 {
+		t.Fatalf("bytes_out delta = %d, want 40", d.Counters["net.bytes_out"])
+	}
+	if d.Counters["net.msgs_out"] != 7 {
+		t.Fatalf("new counter delta = %d, want 7", d.Counters["net.msgs_out"])
+	}
+	// Gauges are levels: Delta keeps the current value.
+	if d.Gauges["fl.accuracy"] != 0.8 {
+		t.Fatalf("gauge = %v, want 0.8", d.Gauges["fl.accuracy"])
+	}
+	h := d.Histograms["hops"]
+	if h.Count != 1 || h.Sum != 5 {
+		t.Fatalf("hist delta count=%d sum=%v, want 1/5", h.Count, h.Sum)
+	}
+	// Inputs untouched.
+	if cur.Counters["net.bytes_out"] != 140 || prev.Counters["net.bytes_out"] != 100 {
+		t.Fatal("Delta modified its inputs")
+	}
+	if cur.Histograms["hops"].Count != 2 {
+		t.Fatal("Delta modified cur's histogram")
+	}
+}
+
 func TestConcurrentCounters(t *testing.T) {
 	r := New(0)
 	c := r.Counter("n")

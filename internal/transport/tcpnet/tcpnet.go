@@ -1,11 +1,22 @@
 // Package tcpnet is the real-network implementation of transport.Env:
-// length-delimited gob frames over TCP, one event-loop goroutine per node
-// so that protocol handlers keep the single-threaded semantics they have
-// under the simulator.
+// varint-length-delimited codec-v2 frames over TCP (see
+// internal/wire/codec and DESIGN.md "Wire format v2"), one event-loop
+// goroutine per node so that protocol handlers keep the single-threaded
+// semantics they have under the simulator.
 //
 // It exists so that the exact same Engine that runs in simulation can run
 // as a live process (cmd/totoro-node): Join a bootstrap peer, build trees,
 // broadcast, and aggregate across machines.
+//
+// Wire format: every outbound connection opens with the codec-v2 preamble
+// and then carries length-prefixed binary frames encoded with pooled
+// buffers — no per-message reflection or allocation for the hot types.
+// Legacy mode (Config.GobWire) keeps the original gob stream; the read
+// side auto-detects which format a peer speaks from the first four bytes,
+// so mixed fleets interoperate through one listener. A frame body that
+// fails to decode is counted under net.decode_errors and skipped — the
+// length framing stays intact, so one malformed message never poisons the
+// connection.
 //
 // Outbound delivery is resilient: each peer has a dedicated writer with a
 // bounded send queue. A broken connection is closed and redialed with
@@ -17,7 +28,10 @@
 package tcpnet
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -28,6 +42,7 @@ import (
 	"totoro/internal/obs"
 	"totoro/internal/transport"
 	"totoro/internal/wire"
+	"totoro/internal/wire/codec"
 )
 
 // frame is the on-wire unit.
@@ -54,6 +69,15 @@ type Config struct {
 	QueueLen int
 	// WriteTimeout bounds one frame write (default 10s).
 	WriteTimeout time.Duration
+	// GobWire reverts outbound framing to the legacy gob stream (wire
+	// format v1). Inbound framing is always auto-detected, so a GobWire
+	// node and a codec-v2 node interoperate. Used by the wire benchmarks
+	// for before/after traffic comparisons.
+	GobWire bool
+	// MaxFrameBytes caps one inbound codec-v2 frame's claimed body length
+	// (default codec.MaxFrameBytes). A frame claiming more is treated as a
+	// framing error and the connection is dropped.
+	MaxFrameBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = codec.MaxFrameBytes
 	}
 	return c
 }
@@ -106,13 +133,16 @@ type Node struct {
 
 	// reg is the node's telemetry registry (shared with the protocol stack
 	// via Env.Metrics). reconnects counts successful redials of previously
-	// broken connections; droppedSends counts frames lost to full queues or
-	// an exhausted retry budget. The net.* counters track real socket
+	// broken connections; droppedSends counts frames lost to full queues,
+	// an exhausted retry budget, or an unencodable payload; decodeErrors
+	// counts inbound frames whose body failed to decode (skipped without
+	// killing the connection). The net.* counters track real socket
 	// traffic under the same names the simulator uses. Counters are safe
 	// from reader and writer goroutines.
 	reg          *obs.Registry
 	reconnects   *obs.Counter
 	droppedSends *obs.Counter
+	decodeErrors *obs.Counter
 	msgsIn       *obs.Counter
 	msgsOut      *obs.Counter
 	bytesIn      *obs.Counter
@@ -133,6 +163,11 @@ func (n *Node) Reconnects() int64 { return n.reconnects.Value() }
 // DroppedSends returns the count of frames lost to full queues or an
 // exhausted retry budget ("tcpnet.dropped_sends").
 func (n *Node) DroppedSends() int64 { return n.droppedSends.Value() }
+
+// DecodeErrors returns the count of inbound frames whose body failed to
+// decode ("net.decode_errors"). Such frames are skipped; the connection
+// survives.
+func (n *Node) DecodeErrors() int64 { return n.decodeErrors.Value() }
 
 // Listen starts a node on the given TCP address ("host:port") with default
 // resilience settings. build receives the node's Env and returns its
@@ -162,6 +197,7 @@ func ListenConfig(addr string, cfg Config, build func(transport.Env) transport.H
 		reg:          reg,
 		reconnects:   reg.Counter("tcpnet.reconnects"),
 		droppedSends: reg.Counter("tcpnet.dropped_sends"),
+		decodeErrors: reg.Counter(transport.CtrDecodeErrors),
 		msgsIn:       reg.Counter(transport.CtrMsgsIn),
 		msgsOut:      reg.Counter(transport.CtrMsgsOut),
 		bytesIn:      reg.Counter(transport.CtrBytesIn),
@@ -246,10 +282,71 @@ func (n *Node) readLoop(c net.Conn) {
 		n.mu.Unlock()
 		c.Close()
 	}()
-	dec := gob.NewDecoder(&countingReader{r: c, ctr: n.bytesIn})
+	br := bufio.NewReaderSize(&countingReader{r: c, ctr: n.bytesIn}, 32<<10)
+	// The first four bytes identify the wire format: codec-v2 streams open
+	// with a preamble whose leading byte is zero, which no gob stream can
+	// start with (gob's first byte is a nonzero message length).
+	head, err := br.Peek(len(codec.Preamble))
+	if err != nil {
+		return
+	}
+	if [4]byte(head) == codec.Preamble {
+		br.Discard(len(codec.Preamble))
+		n.readV2(br)
+		return
+	}
+	n.readGob(br)
+}
+
+// readV2 drains codec-v2 frames: uvarint body length + body. A body that
+// fails to decode is counted and skipped — the length framing is still
+// intact, so one malformed message never poisons the connection. Only a
+// framing-level violation (unreadable or oversized length header) ends
+// the stream.
+func (n *Node) readV2(br *bufio.Reader) {
+	var body []byte // reused across frames; decoded values never alias it
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return
+		}
+		if size > uint64(n.cfg.MaxFrameBytes) {
+			n.decodeErrors.Inc()
+			return // the framing itself cannot be trusted anymore
+		}
+		if uint64(cap(body)) < size {
+			body = make([]byte, size)
+		}
+		body = body[:size]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		from, msg, err := codec.DecodeFrame(body)
+		if err != nil {
+			n.decodeErrors.Inc()
+			continue
+		}
+		n.msgsIn.Inc()
+		select {
+		case n.events <- func() { n.handler.Receive(from, msg) }:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// readGob drains a legacy gob stream (wire format v1).
+func (n *Node) readGob(br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
+			// Clean or churn-induced stream ends are routine; anything else
+			// is a decode failure worth counting. Gob cannot resynchronize
+			// mid-stream, so the connection ends either way.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
+				n.decodeErrors.Inc()
+			}
 			return
 		}
 		n.msgsIn.Inc()
@@ -358,9 +455,16 @@ func (n *Node) enqueue(to transport.Addr, f frame) {
 // redialing as needed. One frame is retried up to MaxRetries consecutive
 // failures with exponential backoff before the peer is abandoned; any
 // success resets the budget.
+//
+// In codec-v2 mode the frame body is encoded once into a pooled buffer
+// before any socket work, so a redial retries the already-encoded bytes,
+// and an encode failure (an unregistered, gob-hostile payload in the
+// fallback path) drops just that frame — it is deterministic, so retrying
+// or tearing the connection down would not help.
 func (n *Node) writeLoop(to transport.Addr, p *peer, seed int64) {
 	var conn net.Conn
-	var enc *gob.Encoder
+	var gobEnc *gob.Encoder // legacy stream encoder (Config.GobWire)
+	var bw *bufio.Writer    // codec-v2 frame writer
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -376,48 +480,97 @@ func (n *Node) writeLoop(to transport.Addr, p *peer, seed int64) {
 		case <-n.done:
 			return
 		}
+		var enc *codec.Enc
+		if !n.cfg.GobWire {
+			enc = codec.NewEnc()
+			if err := codec.EncodeFrame(enc, f.From, f.Msg); err != nil {
+				enc.Free()
+				n.droppedSends.Inc()
+				continue
+			}
+		}
 		for {
 			if conn == nil {
 				c, err := net.DialTimeout("tcp", string(to), n.cfg.DialTimeout)
 				if err != nil {
 					fails++
 					if fails > n.cfg.MaxRetries {
+						if enc != nil {
+							enc.Free()
+						}
 						n.abandon(to, p, 1)
 						return
 					}
 					if !n.sleepBackoff(rng, fails) {
+						if enc != nil {
+							enc.Free()
+						}
 						return
 					}
 					continue
 				}
 				conn = c
-				enc = gob.NewEncoder(&countingWriter{w: conn, ctr: n.bytesOut})
+				cw := &countingWriter{w: conn, ctr: n.bytesOut}
+				if n.cfg.GobWire {
+					gobEnc = gob.NewEncoder(cw)
+				} else {
+					bw = bufio.NewWriterSize(cw, 32<<10)
+					bw.Write(codec.Preamble[:]) // flushed with the first frame
+				}
 				if hadConn {
 					n.reconnects.Inc()
 				}
 				hadConn = true
 			}
 			conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
-			if err := enc.Encode(f); err == nil {
+			var err error
+			if n.cfg.GobWire {
+				err = gobEnc.Encode(f)
+			} else {
+				err = writeV2Frame(bw, enc.Bytes())
+			}
+			if err == nil {
+				if enc != nil {
+					enc.Free()
+				}
 				n.msgsOut.Inc()
 				fails = 0
 				break
 			}
-			// A failed write leaves the gob stream mid-frame: the encoder
-			// is poisoned and the connection must go with it. Close both
-			// and retry this frame on a fresh dial.
+			// A failed write leaves the stream mid-frame: in gob mode the
+			// encoder is also poisoned. Close the connection and retry this
+			// frame on a fresh dial (the v2 body is still encoded in enc).
 			conn.Close()
-			conn, enc = nil, nil
+			conn, gobEnc, bw = nil, nil, nil
 			fails++
 			if fails > n.cfg.MaxRetries {
+				if enc != nil {
+					enc.Free()
+				}
 				n.abandon(to, p, 1)
 				return
 			}
 			if !n.sleepBackoff(rng, fails) {
+				if enc != nil {
+					enc.Free()
+				}
 				return
 			}
 		}
 	}
+}
+
+// writeV2Frame writes one length-prefixed codec-v2 frame and flushes it.
+func writeV2Frame(bw *bufio.Writer, body []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := bw.Write(hdr[:hn]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // abandon retires a peer whose retry budget ran out: it is removed from

@@ -60,6 +60,10 @@ const (
 	CtrMsgsOut  = "net.msgs_out"
 	CtrBytesIn  = "net.bytes_in"
 	CtrBytesOut = "net.bytes_out"
+	// CtrDecodeErrors counts inbound frames whose body failed to decode.
+	// Only real transports can observe it (the simulator passes values in
+	// memory), but the name lives here with its siblings.
+	CtrDecodeErrors = "net.decode_errors"
 )
 
 // Handler consumes messages delivered to a node.

@@ -1,0 +1,177 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"totoro/internal/ids"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+)
+
+// Benchmarks pitting wire v2 against the gob baseline on the three frame
+// shapes that dominate engine traffic: a small control message, a dense
+// 10k-float model update, and the compressed update encodings. The gob
+// side uses a persistent stream (encoder/decoder pair reused across
+// messages), exactly like the legacy tcpnet wire loop — this is the
+// fair comparison, since a fresh gob encoder per message would re-ship
+// type descriptors and flatter v2 even more.
+
+func benchControlMsg() any {
+	return ring.Envelope{
+		Key:    ids.ID{Hi: 1, Lo: 2},
+		Source: ring.Contact{ID: ids.ID{Hi: 3, Lo: 4}, Addr: "10.0.0.1:9000"},
+		Hops:   3, Seq: 1234,
+		Payload: pubsub.JoinMsg{Topic: ids.ID{Hi: 5, Lo: 6},
+			Subscriber: ring.Contact{ID: ids.ID{Hi: 7, Lo: 8}, Addr: "10.0.0.2:9000"}},
+	}
+}
+
+func benchUpdateMsg(n int) (any, []float64) {
+	params := make([]float64, n)
+	for i := range params {
+		params[i] = float64(i%97) * 0.013
+	}
+	return pubsub.Upstream{
+		Topic: ids.ID{Hi: 9, Lo: 10}, Round: 42,
+		From:  ring.Contact{ID: ids.ID{Hi: 11, Lo: 12}, Addr: "10.0.0.3:9000"},
+		Count: 17, Object: params,
+	}, params
+}
+
+func init() {
+	// The gob benchmarks ship the same interface-typed payloads tcpnet's
+	// legacy path does, so the concrete types must be gob-registered.
+	// (Production code does this via wire.Register; codec can't import
+	// wire without a cycle.)
+	gob.Register(ring.Envelope{})
+	gob.Register(pubsub.JoinMsg{})
+	gob.Register(pubsub.Upstream{})
+	gob.Register([]float64(nil))
+	gob.Register(Float32s(nil))
+	gob.Register(QDelta{})
+}
+
+const benchAddr = "10.0.0.9:9000"
+
+func benchCodecEncode(b *testing.B, msg any) {
+	b.ReportAllocs()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		e := NewEnc()
+		if err := EncodeFrame(e, benchAddr, msg); err != nil {
+			b.Fatal(err)
+		}
+		n += int64(e.Len())
+		e.Free()
+	}
+	b.SetBytes(n / int64(b.N))
+}
+
+func benchCodecDecode(b *testing.B, msg any) {
+	e := NewEnc()
+	defer e.Free()
+	if err := EncodeFrame(e, benchAddr, msg); err != nil {
+		b.Fatal(err)
+	}
+	buf := append([]byte(nil), e.Bytes()...)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// wireMsg mirrors tcpnet's legacy gob frame (sender address + payload).
+type wireMsg struct {
+	From string
+	Msg  any
+}
+
+func benchGobEncode(b *testing.B, msg any) {
+	var bb bytes.Buffer
+	enc := gob.NewEncoder(&bb)
+	// Prime the stream so type descriptors are sent once, as on a
+	// long-lived connection.
+	if err := enc.Encode(wireMsg{From: benchAddr, Msg: msg}); err != nil {
+		b.Fatal(err)
+	}
+	prime := bb.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb.Truncate(prime)
+		if err := enc.Encode(wireMsg{From: benchAddr, Msg: msg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(bb.Len() - prime))
+}
+
+func benchGobDecode(b *testing.B, msg any) {
+	// A self-feeding pipe keeps one decoder stream alive for all N
+	// messages, as on a long-lived connection.
+	var bb bytes.Buffer
+	enc := gob.NewEncoder(&bb)
+	dec := gob.NewDecoder(&bb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := enc.Encode(wireMsg{From: benchAddr, Msg: msg}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeControl_Gob(b *testing.B)   { benchGobEncode(b, benchControlMsg()) }
+func BenchmarkEncodeControl_Codec(b *testing.B) { benchCodecEncode(b, benchControlMsg()) }
+func BenchmarkDecodeControl_Gob(b *testing.B)   { benchGobDecode(b, benchControlMsg()) }
+func BenchmarkDecodeControl_Codec(b *testing.B) { benchCodecDecode(b, benchControlMsg()) }
+
+func BenchmarkEncodeUpdate10k_Gob(b *testing.B) {
+	m, _ := benchUpdateMsg(10000)
+	benchGobEncode(b, m)
+}
+
+func BenchmarkEncodeUpdate10k_Codec(b *testing.B) {
+	m, _ := benchUpdateMsg(10000)
+	benchCodecEncode(b, m)
+}
+
+func BenchmarkDecodeUpdate10k_Gob(b *testing.B) {
+	m, _ := benchUpdateMsg(10000)
+	benchGobDecode(b, m)
+}
+
+func BenchmarkDecodeUpdate10k_Codec(b *testing.B) {
+	m, _ := benchUpdateMsg(10000)
+	benchCodecDecode(b, m)
+}
+
+func BenchmarkEncodeUpdate10k_F32(b *testing.B) {
+	_, params := benchUpdateMsg(10000)
+	benchCodecEncode(b, PackF32(params))
+}
+
+func BenchmarkEncodeUpdate10k_QDelta(b *testing.B) {
+	_, params := benchUpdateMsg(10000)
+	benchCodecEncode(b, PackQDelta(params))
+}
+
+func BenchmarkPackQDelta10k(b *testing.B) {
+	_, params := benchUpdateMsg(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PackQDelta(params)
+	}
+}

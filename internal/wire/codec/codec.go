@@ -1,0 +1,589 @@
+// Package codec is Totoro's wire format v2: a hand-rolled, pooled binary
+// codec for the engine's high-volume message types, with encoding/gob
+// demoted to a tagged fallback for rare and application-defined payloads.
+//
+// Motivation: every Totoro message used to round-trip through gob, whose
+// reflection-driven encoder dominates transport CPU and allocates per
+// message. The hot path — model updates ([]float64), accumulator merges,
+// ring/pubsub control traffic — is a small closed set of types, so each
+// gets a purpose-built encoder: varint headers, little-endian bulk copies
+// for float payloads, and append-only buffers recycled through a
+// sync.Pool. Anything outside the set still works: it is wrapped in a
+// gob-encoded sub-frame behind the reserved Gob tag.
+//
+// Wire value layout (see DESIGN.md "Wire format v2" for the full frame):
+//
+//	value := uvarint(tag) payload
+//
+// where the payload layout is fixed per tag. Tags are part of the wire
+// contract and never reassigned. Tag 0 is the gob fallback (payload:
+// uvarint length + gob stream of the value as interface). Tags 1..15 are
+// primitives, 16..63 the engine-internal message types, and 64+ (TagApp)
+// are open to applications via RegisterCodec.
+//
+// Registration must happen before the first frame is encoded (package
+// init or process setup, exactly like gob.Register); the registry is read
+// without locks on the hot path.
+//
+// Decoding is defensive: a malformed or truncated value yields a sticky
+// error on the Dec — never a panic — and claimed lengths are bounds-checked
+// against the remaining input before any allocation, so a hostile frame
+// cannot force a huge allocation.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// Wire tags. Stable: these values are the wire contract.
+const (
+	// TagGob marks a gob-encoded fallback value.
+	TagGob = 0
+
+	tagNil     = 1
+	tagBool    = 2
+	tagInt     = 3
+	tagInt64   = 4
+	tagUint64  = 5
+	tagFloat64 = 6
+	tagString  = 7
+	tagBytes   = 8
+	tagF64s    = 9
+	tagStrMap  = 10
+	tagF32s    = 11
+	tagQDelta  = 12
+
+	tagEnvelope       = 16
+	tagHopAck         = 17
+	tagJoinRequest    = 18
+	tagJoinReply      = 19
+	tagNodeJoined     = 20
+	tagLeafsetRequest = 21
+	tagLeafsetReply   = 22
+	tagPing           = 23
+	tagPong           = 24
+	tagPSJoin         = 25
+	tagPSWelcome      = 26
+	tagPSCreate       = 27
+	tagPSPublish      = 28
+	tagPSMulticast    = 29
+	tagPSUpstream     = 30
+	tagPSKeepAlive    = 31
+	tagPSMcNack       = 32
+	tagPSLeave        = 33
+	tagMRPacket       = 34
+	tagRelayData      = 35
+	tagRelayAck       = 36
+	tagRelayAdvert    = 37
+
+	// TagApp is the first tag available to RegisterCodec. Tags below it
+	// are reserved for the engine.
+	TagApp = 64
+)
+
+// EncodeFunc appends the payload (no tag) of v to e.
+type EncodeFunc func(e *Enc, v any)
+
+// DecodeFunc reads the payload (no tag) of one value from d. On malformed
+// input it must set d's error (via the Dec read methods) and may return a
+// partial value; it must never panic.
+type DecodeFunc func(d *Dec) any
+
+type entry struct {
+	tag   uint64
+	proto any
+	enc   EncodeFunc
+	dec   DecodeFunc
+}
+
+// The registry maps concrete types to encoders and tags to decoders.
+// Writes are serialized by regMu and must complete before the first
+// encode/decode (init-time or process-setup-time, like gob.Register);
+// reads are lock-free on the hot path.
+var (
+	regMu    sync.Mutex
+	encoders = map[reflect.Type]*entry{}
+	decoders = map[uint64]*entry{}
+)
+
+// register installs a codec for prototype's concrete type under tag.
+// Internal use; applications go through RegisterCodec.
+func register(tag uint64, prototype any, enc EncodeFunc, dec DecodeFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	t := reflect.TypeOf(prototype)
+	if t == nil {
+		panic("codec: register with nil prototype")
+	}
+	if _, dup := decoders[tag]; dup {
+		panic(fmt.Sprintf("codec: duplicate tag %d", tag))
+	}
+	if _, dup := encoders[t]; dup {
+		panic(fmt.Sprintf("codec: duplicate codec for type %v", t))
+	}
+	e := &entry{tag: tag, proto: prototype, enc: enc, dec: dec}
+	encoders[t] = e
+	decoders[tag] = e
+}
+
+// RegisterCodec installs an application codec for prototype's concrete
+// type. tag must be >= TagApp and process-unique; both endpoints must
+// register the same tag for the same type (the engine's own registrations
+// are in package init, applications typically register alongside
+// wire.Register / totoro.RegisterWire). enc writes the payload, dec reads
+// it back; the value must round-trip losslessly — totoro-vet's wiresafe
+// analyzer checks the registered types statically and the certification
+// test exercises them dynamically.
+func RegisterCodec(tag uint64, prototype any, enc EncodeFunc, dec DecodeFunc) {
+	if tag < TagApp {
+		panic(fmt.Sprintf("codec: application tag %d is reserved (< TagApp)", tag))
+	}
+	register(tag, prototype, enc, dec)
+}
+
+// Registered returns a prototype value of every registered type in tag
+// order — the corpus the losslessness certification tests round-trip.
+func Registered() []any {
+	regMu.Lock()
+	defer regMu.Unlock()
+	tags := make([]uint64, 0, len(decoders))
+	for tag := range decoders {
+		tags = append(tags, tag)
+	}
+	slices.Sort(tags)
+	out := make([]any, 0, len(tags))
+	for _, tag := range tags {
+		out = append(out, decoders[tag].proto)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Enc: pooled append-only encode buffer.
+
+// Enc is an append-only encode buffer. Obtain with NewEnc, return with
+// Free; the backing array is recycled through a sync.Pool so steady-state
+// encoding allocates nothing. An Enc must not be used after Free.
+type Enc struct {
+	buf []byte
+	err error
+}
+
+// maxPooledBuf bounds the capacity of buffers returned to the pool so one
+// giant frame does not pin megabytes forever.
+const maxPooledBuf = 4 << 20
+
+var encPool = sync.Pool{New: func() any { return &Enc{buf: make([]byte, 0, 1024)} }}
+
+// NewEnc returns an empty encoder from the pool.
+func NewEnc() *Enc {
+	e := encPool.Get().(*Enc)
+	e.Reset()
+	return e
+}
+
+// Free returns the encoder to the pool.
+func (e *Enc) Free() {
+	if cap(e.buf) <= maxPooledBuf {
+		encPool.Put(e)
+	}
+}
+
+// Reset empties the buffer, keeping its capacity.
+func (e *Enc) Reset() { e.buf, e.err = e.buf[:0], nil }
+
+// Bytes returns the encoded contents. The slice aliases the encoder's
+// buffer and is invalidated by the next write, Reset, or Free.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Enc) Len() int { return len(e.buf) }
+
+// Err returns the first encode error (only the gob fallback can fail).
+func (e *Enc) Err() error { return e.err }
+
+// grow appends n uninitialized bytes and returns the slice to fill.
+func (e *Enc) grow(n int) []byte {
+	l := len(e.buf)
+	e.buf = slices.Grow(e.buf, n)[:l+n]
+	return e.buf[l:]
+}
+
+// Uvarint appends x in unsigned varint form.
+func (e *Enc) Uvarint(x uint64) { e.buf = binary.AppendUvarint(e.buf, x) }
+
+// Varint appends x in zigzag varint form.
+func (e *Enc) Varint(x int64) { e.buf = binary.AppendVarint(e.buf, x) }
+
+// Int appends a zigzag varint int.
+func (e *Enc) Int(x int) { e.Varint(int64(x)) }
+
+// Bool appends one byte.
+func (e *Enc) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+// Uint64 appends x as 8 little-endian bytes.
+func (e *Enc) Uint64(x uint64) { binary.LittleEndian.PutUint64(e.grow(8), x) }
+
+// Float64 appends the IEEE-754 bits of f as 8 little-endian bytes.
+func (e *Enc) Float64(f float64) { e.Uint64(math.Float64bits(f)) }
+
+// String appends a uvarint length followed by the bytes of s.
+func (e *Enc) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// ByteSlice appends a uvarint length followed by b.
+func (e *Enc) ByteSlice(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Float64s appends a uvarint length followed by the raw little-endian
+// bits of v — one bulk copy, no per-element reflection or interface boxing.
+func (e *Enc) Float64s(v []float64) {
+	e.Uvarint(uint64(len(v)))
+	dst := e.grow(8 * len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(f))
+	}
+}
+
+// Float32s appends a uvarint length followed by little-endian float32 bits.
+func (e *Enc) Float32s(v []float32) {
+	e.Uvarint(uint64(len(v)))
+	dst := e.grow(4 * len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(f))
+	}
+}
+
+// Int8s appends a uvarint length followed by the two's-complement bytes.
+func (e *Enc) Int8s(v []int8) {
+	e.Uvarint(uint64(len(v)))
+	dst := e.grow(len(v))
+	for i, x := range v {
+		dst[i] = byte(x)
+	}
+}
+
+// StringMap appends the map in sorted-key order (deterministic encodes).
+func (e *Enc) StringMap(m map[string]string) {
+	e.Uvarint(uint64(len(m)))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.String(k)
+		e.String(m[k])
+	}
+}
+
+// Value appends the tagged encoding of v: its registered codec when the
+// concrete type has one, the gob fallback otherwise.
+func (e *Enc) Value(v any) {
+	if v == nil {
+		e.Uvarint(tagNil)
+		return
+	}
+	if ent, ok := encoders[reflect.TypeOf(v)]; ok {
+		e.Uvarint(ent.tag)
+		ent.enc(e, v)
+		return
+	}
+	e.gobFallback(v)
+}
+
+// gobFallback wraps v in a tagged gob sub-frame. A fresh gob stream per
+// value re-ships type descriptors each time — that cost is exactly why
+// hot types get hand-rolled codecs and gob is the fallback.
+func (e *Enc) gobFallback(v any) {
+	var bb bytes.Buffer
+	if err := gob.NewEncoder(&bb).Encode(&v); err != nil {
+		if e.err == nil {
+			e.err = fmt.Errorf("codec: gob fallback for %T: %w", v, err)
+		}
+		return
+	}
+	e.Uvarint(TagGob)
+	e.ByteSlice(bb.Bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Dec: bounds-checked decode cursor.
+
+// ErrMalformed is the root cause wrapped by all structural decode errors.
+var ErrMalformed = errors.New("codec: malformed frame")
+
+// Dec decodes values from one frame body. All read methods are safe on
+// malformed input: the first structural violation sets a sticky error and
+// every later read returns a zero value.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder reading from b (which the caller may recycle
+// only after decoding finishes; decoded values never alias b).
+func NewDec(b []byte) *Dec { return &Dec{buf: b} }
+
+// Err returns the sticky decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Rem returns the number of unread bytes.
+func (d *Dec) Rem() int { return len(d.buf) - d.off }
+
+func (d *Dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrMalformed, what, d.off)
+	}
+}
+
+// take returns the next n bytes (aliasing the input) or fails.
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("truncated")
+		return nil
+	}
+	s := d.buf[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+// Varint reads a zigzag varint.
+func (d *Dec) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+// Int reads a zigzag varint as int.
+func (d *Dec) Int() int { return int(d.Varint()) }
+
+// Bool reads one byte.
+func (d *Dec) Bool() bool {
+	b := d.take(1)
+	return b != nil && b[0] != 0
+}
+
+// Uint64 reads 8 little-endian bytes.
+func (d *Dec) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Float64 reads 8 little-endian bytes as IEEE-754 bits.
+func (d *Dec) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// SliceLen reads and validates a claimed element count against the
+// remaining input, assuming each element occupies at least elemSize
+// bytes; a count that cannot fit fails the decoder. This is what keeps a
+// malformed length header from forcing a giant allocation — external
+// codecs (RegisterCodec) should use it for their own variable-length
+// fields.
+func (d *Dec) SliceLen(elemSize int) int { return d.sliceLen(elemSize) }
+
+func (d *Dec) sliceLen(elemSize int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.Rem())/uint64(elemSize) {
+		d.fail("length exceeds input")
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string (copying out of the input).
+func (d *Dec) String() string {
+	n := d.sliceLen(1)
+	if n == 0 {
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// ByteSlice reads a length-prefixed byte slice (copied; never aliases the
+// input, which transports recycle).
+func (d *Dec) ByteSlice() []byte {
+	n := d.sliceLen(1)
+	if n == 0 {
+		return nil
+	}
+	return append([]byte(nil), d.take(n)...)
+}
+
+// Float64s reads a length-prefixed little-endian float64 slice.
+func (d *Dec) Float64s() []float64 {
+	n := d.sliceLen(8)
+	if n == 0 {
+		return nil
+	}
+	b := d.take(8 * n)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Float32s reads a length-prefixed little-endian float32 slice.
+func (d *Dec) Float32s() []float32 {
+	n := d.sliceLen(4)
+	if n == 0 {
+		return nil
+	}
+	b := d.take(4 * n)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// Int8s reads a length-prefixed int8 slice.
+func (d *Dec) Int8s() []int8 {
+	n := d.sliceLen(1)
+	if n == 0 {
+		return nil
+	}
+	b := d.take(n)
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(b[i])
+	}
+	return out
+}
+
+// StringMap reads a map encoded by Enc.StringMap. Zero entries decode as
+// a nil map (the same nil normalization slices use).
+func (d *Dec) StringMap() map[string]string {
+	n := d.sliceLen(2) // one byte per key + one per value, minimum
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.String()
+		m[k] = d.String()
+	}
+	return m
+}
+
+// Value reads one tagged value.
+func (d *Dec) Value() any {
+	tag := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if tag == tagNil {
+		return nil
+	}
+	if tag == TagGob {
+		b := d.ByteSlice()
+		if d.err != nil {
+			return nil
+		}
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+			d.fail("gob fallback: " + err.Error())
+			return nil
+		}
+		return v
+	}
+	ent, ok := decoders[tag]
+	if !ok {
+		d.fail(fmt.Sprintf("unknown tag %d", tag))
+		return nil
+	}
+	return ent.dec(d)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive registrations.
+
+func init() {
+	register(tagBool, false,
+		func(e *Enc, v any) { e.Bool(v.(bool)) },
+		func(d *Dec) any { return d.Bool() })
+	register(tagInt, int(0),
+		func(e *Enc, v any) { e.Int(v.(int)) },
+		func(d *Dec) any { return d.Int() })
+	register(tagInt64, int64(0),
+		func(e *Enc, v any) { e.Varint(v.(int64)) },
+		func(d *Dec) any { return d.Varint() })
+	register(tagUint64, uint64(0),
+		func(e *Enc, v any) { e.Uvarint(v.(uint64)) },
+		func(d *Dec) any { return d.Uvarint() })
+	register(tagFloat64, float64(0),
+		func(e *Enc, v any) { e.Float64(v.(float64)) },
+		func(d *Dec) any { return d.Float64() })
+	register(tagString, "",
+		func(e *Enc, v any) { e.String(v.(string)) },
+		func(d *Dec) any { return d.String() })
+	register(tagBytes, []byte(nil),
+		func(e *Enc, v any) { e.ByteSlice(v.([]byte)) },
+		func(d *Dec) any { return d.ByteSlice() })
+	register(tagF64s, []float64(nil),
+		func(e *Enc, v any) { e.Float64s(v.([]float64)) },
+		func(d *Dec) any { return d.Float64s() })
+	register(tagStrMap, map[string]string(nil),
+		func(e *Enc, v any) { e.StringMap(v.(map[string]string)) },
+		func(d *Dec) any { return d.StringMap() })
+	register(tagF32s, Float32s(nil),
+		func(e *Enc, v any) { e.Float32s(v.(Float32s)) },
+		func(d *Dec) any { return Float32s(d.Float32s()) })
+	register(tagQDelta, QDelta{},
+		func(e *Enc, v any) {
+			q := v.(QDelta)
+			e.Float64(q.Scale)
+			e.Int8s(q.Levels)
+		},
+		func(d *Dec) any { return QDelta{Scale: d.Float64(), Levels: d.Int8s()} })
+}

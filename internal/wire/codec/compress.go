@@ -1,0 +1,90 @@
+package codec
+
+import "math"
+
+// Compressed model-update encodings. A model update is a []float64; apps
+// that can tolerate bounded reconstruction error opt into shipping it as
+// one of these wire types instead (fl.Float32 / fl.DeltaInt8 produce the
+// same reconstructions for the simulator's accounting, and the accuracy
+// cost is measured in EXPERIMENTS.md). Both types round-trip losslessly
+// through the codec — the loss happens once, at Pack time.
+
+// Float32s is a model update quantized to IEEE float32: half the wire
+// bytes of a dense update at ~1e-7 relative error.
+type Float32s []float32
+
+// PackF32 quantizes a dense update to float32.
+func PackF32(v []float64) Float32s {
+	out := make(Float32s, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// Dense reconstructs the []float64 a receiver hands to the aggregator.
+func (f Float32s) Dense() []float64 {
+	out := make([]float64, len(f))
+	for i, x := range f {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// QDelta is a delta-coded, int8-quantized model update: one byte per
+// coordinate plus a shared scale. Coordinate i is stored as the quantized
+// difference from the reconstruction of coordinate i-1 (DPCM with error
+// feedback: each residual is computed against the receiver's view, so
+// quantization error does not accumulate along the vector).
+type QDelta struct {
+	Scale  float64
+	Levels []int8
+}
+
+// PackQDelta delta-codes and quantizes a dense update. The scale is set
+// from the largest coordinate-to-coordinate step so residuals fit int8.
+func PackQDelta(v []float64) QDelta {
+	if len(v) == 0 {
+		return QDelta{}
+	}
+	maxStep := math.Abs(v[0])
+	for i := 1; i < len(v); i++ {
+		if s := math.Abs(v[i] - v[i-1]); s > maxStep {
+			maxStep = s
+		}
+	}
+	q := QDelta{Scale: maxStep / 127, Levels: make([]int8, len(v))}
+	if q.Scale == 0 {
+		return q // constant-zero steps: every level is 0
+	}
+	pred := 0.0
+	for i, x := range v {
+		l := math.Round((x - pred) / q.Scale)
+		if l > 127 {
+			l = 127
+		} else if l < -127 {
+			l = -127
+		}
+		q.Levels[i] = int8(l)
+		pred += l * q.Scale
+	}
+	return q
+}
+
+// Dense reconstructs the receiver-side []float64.
+func (q QDelta) Dense() []float64 {
+	out := make([]float64, len(q.Levels))
+	pred := 0.0
+	for i, l := range q.Levels {
+		pred += float64(l) * q.Scale
+		out[i] = pred
+	}
+	return out
+}
+
+// WireSize implements transport.Sized so the simulator charges the
+// compressed frame, not the boxed in-memory form.
+func (f Float32s) WireSize() int { return 8 + 4*len(f) }
+
+// WireSize implements transport.Sized.
+func (q QDelta) WireSize() int { return 16 + len(q.Levels) }

@@ -1,0 +1,52 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+
+	"totoro/internal/transport"
+)
+
+// Preamble opens every codec-v2 byte stream. The leading zero byte makes
+// the format self-identifying against a legacy gob stream: gob's first
+// byte is a message length, which is never zero, so a receiver can peek
+// four bytes and route the connection to the right decoder. This is what
+// lets mixed fleets (old gob senders, new v2 senders) share one listener.
+var Preamble = [4]byte{0x00, 'T', 'W', '2'}
+
+// MaxFrameBytes is the default cap a transport should place on one
+// frame's claimed body length before allocating for it.
+const MaxFrameBytes = 64 << 20
+
+// EncodeFrame appends one transport frame body — the sender's address
+// followed by the tagged message — to e. The transport prefixes the body
+// with its uvarint length on the stream. The only possible error is a
+// failed gob fallback for an unregistered, gob-hostile payload.
+func EncodeFrame(e *Enc, from transport.Addr, msg any) error {
+	e.Addr(from)
+	e.Value(msg)
+	return e.Err()
+}
+
+var decPool = sync.Pool{New: func() any { return new(Dec) }}
+
+// DecodeFrame decodes one frame body produced by EncodeFrame. The decoded
+// message never aliases b, so the caller may recycle the buffer. Trailing
+// garbage after the message is an error: a well-formed frame is consumed
+// exactly.
+func DecodeFrame(b []byte) (from transport.Addr, msg any, err error) {
+	d := decPool.Get().(*Dec)
+	*d = Dec{buf: b}
+	from = d.Addr()
+	msg = d.Value()
+	err, rem := d.Err(), d.Rem()
+	d.buf = nil // do not pin the caller's buffer while pooled
+	decPool.Put(d)
+	if err != nil {
+		return "", nil, err
+	}
+	if rem != 0 {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, rem)
+	}
+	return from, msg, nil
+}

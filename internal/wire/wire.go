@@ -2,6 +2,12 @@
 // that the TCP transport can ship the same message values the simulator
 // passes in memory. Call Register once per process before using
 // transport/tcpnet.
+//
+// Since wire format v2 (see the wire/codec subpackage), gob is the
+// fallback encoding: the high-volume types registered here also carry
+// hand-rolled binary codecs, installed by codec's package init. The gob
+// registrations remain load-bearing — they back the tagged fallback frame
+// for rare and application types, and legacy (GobWire) peers.
 package wire
 
 import (
@@ -12,6 +18,7 @@ import (
 	"totoro/internal/pubsub"
 	"totoro/internal/relay"
 	"totoro/internal/ring"
+	"totoro/internal/wire/codec"
 )
 
 var once sync.Once
@@ -53,6 +60,9 @@ func Register() {
 		gob.Register("")
 		gob.Register(0)
 		gob.Register(0.0)
+		// Compressed model-update encodings (wire format v2).
+		gob.Register(codec.Float32s(nil))
+		gob.Register(codec.QDelta{})
 	})
 }
 

@@ -2,21 +2,30 @@ package totoro
 
 import (
 	"encoding/gob"
+	"sync"
 
 	"totoro/internal/wire"
 )
 
+var wireOnce sync.Once
+
 // RegisterWire registers every message type an Engine can put on the wire,
-// enabling deployment over internal/transport/tcpnet. Call once per
-// process before creating TCP-backed engines. Custom Broadcast/Aggregate
-// payload types must additionally be registered with
-// wire.RegisterPayload.
+// enabling deployment over internal/transport/tcpnet: codec-v2 encoders
+// for the hot FL driver messages (wire_codec.go) plus the gob
+// registrations that back the fallback path and legacy (GobWire) peers.
+// Call once per process before creating TCP-backed engines. Custom
+// Broadcast/Aggregate payload types must additionally be registered with
+// wire.RegisterPayload (they ride the gob fallback unless the app also
+// installs a codec via codec.RegisterCodec).
 func RegisterWire() {
-	wire.Register()
-	gob.Register(AppSpec{})
-	gob.Register(announceMsg{})
-	gob.Register(startMsg{})
-	gob.Register(roundStart{})
-	gob.Register(updateAgg{})
-	gob.Register(replicaMsg{})
+	wireOnce.Do(func() {
+		wire.Register()
+		gob.Register(AppSpec{})
+		gob.Register(announceMsg{})
+		gob.Register(startMsg{})
+		gob.Register(roundStart{})
+		gob.Register(updateAgg{})
+		gob.Register(replicaMsg{})
+		registerCodecs()
+	})
 }

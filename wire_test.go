@@ -3,6 +3,7 @@ package totoro
 import (
 	"bytes"
 	"encoding/gob"
+	"math/rand"
 	"reflect"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"totoro/internal/fl"
 	"totoro/internal/ring"
 	"totoro/internal/transport"
+	"totoro/internal/wire/codec"
 	"totoro/internal/workload"
 )
 
@@ -88,5 +90,47 @@ func TestEngineWireRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(out.Msg, msg) {
 			t.Fatalf("%s: round trip mutated the message:\n sent %#v\n got  %#v", name, msg, out.Msg)
 		}
+		// The same messages must survive the codec-v2 hot path — via their
+		// hand-rolled encoders, not the gob fallback (the tag check below
+		// fails if a type silently falls back).
+		e := codec.NewEnc()
+		e.Value(msg)
+		if err := e.Err(); err != nil {
+			t.Fatalf("%s: codec encode: %v", name, err)
+		}
+		if e.Bytes()[0] == codec.TagGob {
+			t.Fatalf("%s: fell back to gob; registerCodecs is missing its tag", name)
+		}
+		d := codec.NewDec(append([]byte(nil), e.Bytes()...))
+		got := d.Value()
+		e.Free()
+		if err := d.Err(); err != nil {
+			t.Fatalf("%s: codec decode: %v", name, err)
+		}
+		if d.Rem() != 0 {
+			t.Fatalf("%s: codec left %d trailing bytes", name, d.Rem())
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("%s: codec round trip mutated the message:\n sent %#v\n got  %#v", name, msg, got)
+		}
+	}
+}
+
+// TestWireCodecLossless runs the codec package's randomized certification
+// over the full registry — engine-internal tags plus the application tags
+// RegisterWire adds — so every registered encoder provably carries every
+// exported field. updateAgg's nil-Acc arm is not reachable by randomized
+// fill (fillValue always populates pointers), so it is pinned explicitly.
+func TestWireCodecLossless(t *testing.T) {
+	RegisterWire()
+	if err := codec.CertifyLossless(codec.Registered(), rand.New(rand.NewSource(2)), 16); err != nil {
+		t.Fatal(err)
+	}
+	e := codec.NewEnc()
+	defer e.Free()
+	e.Value(updateAgg{Bytes: 99})
+	d := codec.NewDec(e.Bytes())
+	if got := d.Value(); d.Err() != nil || !reflect.DeepEqual(got, updateAgg{Bytes: 99}) {
+		t.Fatalf("nil-Acc updateAgg round trip: %#v err=%v", got, d.Err())
 	}
 }
