@@ -10,7 +10,9 @@ import (
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
 	"totoro/internal/simnet"
+	"totoro/internal/store"
 	"totoro/internal/transport"
+	"totoro/internal/wire/codec"
 	"totoro/internal/workload"
 )
 
@@ -51,6 +53,16 @@ type ClusterConfig struct {
 	Replicas             int
 	ReplicaCheckInterval time.Duration
 	FailoverGrace        time.Duration
+	// Durable gives every engine an in-memory durable store (the simnet
+	// stand-in for a node's on-disk WAL — byte-identical journals, see
+	// internal/store): node state then survives Restart, making
+	// crash-restart a first-class churn event. SnapshotEvery is the WAL
+	// snapshot cadence (see Options.SnapshotEvery).
+	Durable       bool
+	SnapshotEvery int
+	// ExactSizes routes simulated message-size accounting through the v2
+	// wire codec (see simnet.Config.ExactSizes).
+	ExactSizes bool
 }
 
 // Cluster is a whole simulated Totoro deployment: N engines on a
@@ -65,6 +77,15 @@ type Cluster struct {
 	cfg  ClusterConfig
 	rng  *rand.Rand
 	apps map[AppID]*clusterApp
+	// stores holds each engine's durable store (nil entries when Durable is
+	// off); shards remembers which data shard each engine holds per app, so
+	// a crash-restarted engine can be handed its data back (the store
+	// journals the subscription, the driver owns the bytes).
+	stores []store.Store
+	shards []map[AppID]*ml.Dataset
+	// maintainEvery remembers the StartMaintenance interval so a
+	// crash-restarted engine's rebuilt ring node gets its probe loop back.
+	maintainEvery time.Duration
 }
 
 type clusterApp struct {
@@ -92,11 +113,16 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		apps: make(map[AppID]*clusterApp),
 	}
-	c.Net = simnet.New(simnet.Config{
+	netCfg := simnet.Config{
 		Seed:             cfg.Seed,
 		Latency:          lat,
 		DefaultBandwidth: cfg.Bandwidth,
-	})
+	}
+	if cfg.ExactSizes {
+		RegisterWire() // exact accounting encodes through the codec registry
+		netCfg.Sizer = codec.FrameSize
+	}
+	c.Net = simnet.New(netCfg)
 	var ringNodes []*ring.Node
 	logical := 0
 	for host := 0; host < cfg.N; host++ {
@@ -123,6 +149,14 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			if cfg.ZoneBits > 0 && cfg.ZoneOf != nil {
 				id = ids.MakeZoned(cfg.ZoneOf(host), cfg.ZoneBits, id)
 			}
+			// The store outlives the engine: a Restart rebuilds the stack via
+			// this closure, and the rebooted engine recovers from the same
+			// store a real node would find on its disk.
+			var st store.Store
+			if cfg.Durable {
+				st = store.NewMem()
+			}
+			idx := len(c.Engines)
 			var eng *Engine
 			c.Net.AddNode(addr, func(env transport.Env) transport.Handler {
 				eng = NewEngine(env, ring.Contact{ID: id, Addr: addr}, Options{
@@ -136,7 +170,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 					Replicas:             cfg.Replicas,
 					ReplicaCheckInterval: cfg.ReplicaCheckInterval,
 					FailoverGrace:        cfg.FailoverGrace,
+					Store:                st,
+					SnapshotEvery:        cfg.SnapshotEvery,
 				})
+				if idx < len(c.Engines) {
+					c.Engines[idx] = eng // rebuild via Restart: replace the corpse
+				}
 				return eng
 			})
 			if cfg.Bandwidth > 0 && virtual > 1 {
@@ -144,6 +183,8 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			}
 			c.Engines = append(c.Engines, eng)
 			c.HostOf = append(c.HostOf, host)
+			c.stores = append(c.stores, st)
+			c.shards = append(c.shards, make(map[AppID]*ml.Dataset))
 			ringNodes = append(ringNodes, eng.Ring())
 		}
 	}
@@ -177,6 +218,7 @@ func (c *Cluster) Deploy(app *workload.App, owner int, workers []int) AppID {
 		if err := c.Engines[w].Subscribe(id, shard, spec.ZoneRestricted); err != nil {
 			panic(err)
 		}
+		c.shards[w][id] = shard
 	}
 	c.settle()
 	return id
@@ -302,12 +344,71 @@ func (c *Cluster) Master(id AppID) *Engine {
 	return nil
 }
 
+// Restart crash-restarts engine i: the node reboots with a rebuilt stack
+// (amnesia except for its durable store), then rejoins and resumes. See
+// Restarted for the recovery sequence.
+func (c *Cluster) Restart(i int) {
+	c.Net.Restart(c.Engines[i].Self().Addr)
+	c.Restarted(c.Engines[i].Self().Addr)
+}
+
+// Restarted completes a crash-restart that the network layer already
+// performed (churn in Restart mode calls Network.Restart itself; pass this
+// as the churn OnRestart hook). It plays the role a node's init system
+// plays in a real deployment: hand the recovered engine its data shards
+// (the store journals *that* the node works for an app; the driver owns
+// the bytes), point it at a live bootstrap node, and — once the overlay
+// join completes — let it resume its recovered roles.
+func (c *Cluster) Restarted(addr transport.Addr) {
+	idx := -1
+	for i, e := range c.Engines {
+		if e.Self().Addr == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	eng := c.Engines[idx]
+	for _, app := range sortedApps(c.shards[idx]) {
+		eng.AttachShard(app, c.shards[idx][app])
+	}
+	if c.maintainEvery > 0 {
+		eng.Ring().StartMaintenance(c.maintainEvery)
+	}
+	var bootstrap transport.Addr
+	for _, a := range c.Net.Addrs() {
+		if a != addr && c.Net.Alive(a) {
+			bootstrap = a
+			break
+		}
+	}
+	if bootstrap == "" {
+		return // nobody to rejoin through; the next restart will retry
+	}
+	eng.Join(bootstrap)
+	var poll func()
+	poll = func() {
+		if !c.Net.Alive(addr) || c.Engines[idx] != eng {
+			return // crashed again; its own restart drives recovery
+		}
+		if !eng.Ring().Joined() {
+			c.Net.ScheduleAfter(50*time.Millisecond, poll)
+			return
+		}
+		eng.ResumeAfterRestart()
+	}
+	c.Net.ScheduleAfter(50*time.Millisecond, poll)
+}
+
 // StartMaintenance starts periodic leaf-set maintenance on every engine's
 // ring node — required for failover: it is what scrubs a dead master from
 // the successors' routing state so ring ownership of the app key moves.
 // Note the probe timers keep the event queue busy forever; drive the
 // network with Run/StepUntilDone, not RunUntilIdle, after calling this.
 func (c *Cluster) StartMaintenance(interval time.Duration) {
+	c.maintainEvery = interval
 	for _, e := range c.Engines {
 		e.Ring().StartMaintenance(interval)
 	}

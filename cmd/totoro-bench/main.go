@@ -26,7 +26,7 @@ var experimentsOrder = []string{
 	"fig5a", "fig5b", "fig5c", "fig5d",
 	"fig6ab", "fig6c", "fig7",
 	"table3", "fig10", "fig11", "fig12", "fig13",
-	"ablations", "wire",
+	"ablations", "wire", "wal",
 }
 
 func main() {
@@ -213,6 +213,40 @@ func run(id string, o experiments.Options) bool {
 			os.Exit(1)
 		}
 		fmt.Println("\nwrote BENCH_wire.json")
+	case "wal":
+		fmt.Println("=== Durable store: WAL append cost and cold-recovery time ===")
+		rep := experiments.WALReport{Append: experiments.WALAppendBench(o)}
+		recovery, err := experiments.WALColdRecovery(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wal recovery run failed: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Recovery = recovery
+		fmt.Printf("%-16s %-6s %12s %12s %10s %10s %8s\n",
+			"op", "sync", "ns/op", "appends/s", "MB/s", "B/op", "allocs")
+		for _, r := range rep.Append {
+			sync := "no"
+			if r.Sync {
+				sync = "fsync"
+			}
+			fmt.Printf("%-16s %-6s %12.1f %12.0f %10.1f %10d %8d\n",
+				r.Op, sync, r.NsPerOp, r.AppendsPerS, r.MBPerSec, r.BytesPerOp, r.AllocsPerOp)
+		}
+		fmt.Println("\ncold recovery (snapshot + journal tail replay on boot):")
+		for _, r := range rep.Recovery {
+			fmt.Printf("  tail=%6d records  wal=%9dB  replayed=%6d  recovery=%8.2fms\n",
+				r.TailRecords, r.WALBytes, r.Replayed, r.RecoveryMs)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal wal report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_wal.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write BENCH_wal.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nwrote BENCH_wal.json")
 	default:
 		return false
 	}

@@ -27,6 +27,7 @@ import (
 	"totoro/internal/ids"
 	"totoro/internal/obs"
 	"totoro/internal/ring"
+	"totoro/internal/store"
 	"totoro/internal/transport"
 	"totoro/internal/transport/tcpnet"
 	"totoro/internal/wire"
@@ -41,6 +42,8 @@ func main() {
 		agg       = flag.Int("aggregate", 0, "optional value to contribute to aggregation round 1")
 		metrics   = flag.String("metrics", "", "HTTP address serving /metrics, /metrics/text, /metrics/prom, /metrics/trace (empty = off)")
 		gobWire   = flag.Bool("gob-wire", false, "send with the legacy gob wire format instead of wire v2 (reads auto-detect either, so mixed fleets interoperate)")
+		dataDir   = flag.String("data-dir", "", "directory for the durable store (WAL + snapshots); the node recovers its identity and roles from it on boot (empty = in-memory only)")
+		walSync   = flag.Bool("wal-sync", false, "fsync the WAL on every append (durable against power loss, at per-record flush latency)")
 	)
 	flag.Parse()
 
@@ -54,10 +57,24 @@ func main() {
 	}
 	nodeID := ids.FromBytes(idBytes[:])
 
+	// With -data-dir the engine journals to a WAL and, on boot, recovers
+	// its ring identity and master/worker roles from the last run. The
+	// random nodeID above is only the first-boot fallback; recovery
+	// overrides it so the node reclaims its old ring position.
+	var st store.Store
+	if *dataDir != "" {
+		f, err := store.Open(*dataDir, store.FileConfig{Sync: *walSync})
+		if err != nil {
+			log.Fatalf("durable store: %v", err)
+		}
+		st = f
+		defer f.Close()
+	}
+
 	var engine *totoro.Engine
 	node, err := tcpnet.ListenConfig(*listen, tcpnet.Config{GobWire: *gobWire}, func(e transport.Env) transport.Handler {
 		engine = totoro.NewEngine(e, ring.Contact{ID: nodeID, Addr: e.Self()},
-			totoro.Options{Ring: ring.Config{B: 4}})
+			totoro.Options{Ring: ring.Config{B: 4}, Store: st})
 		engine.SetCallbacks(totoro.Callbacks{
 			OnBroadcast: func(app totoro.AppID, obj any, depth int, sub bool) {
 				log.Printf("broadcast on %s… (depth %d): %v", app.Short(), depth, obj)
@@ -81,6 +98,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer node.Close()
+	recovered := false
+	node.Do(func() {
+		recovered = engine.Recovered()
+		nodeID = engine.Self().ID
+	})
+	if recovered {
+		log.Printf("recovered engine state from %s", *dataDir)
+	}
 	log.Printf("node %s up, id %s…", node.Addr(), nodeID.Short())
 
 	if *metrics != "" {
@@ -107,6 +132,12 @@ func main() {
 			time.Sleep(100 * time.Millisecond)
 		}
 		log.Printf("joined overlay via %s", *bootstrap)
+	}
+	if recovered {
+		// Back on the ring (or running standalone): restart any training
+		// rounds the WAL says were in flight when the last run died.
+		node.Do(func() { engine.ResumeAfterRestart() })
+		log.Printf("resumed recovered roles")
 	}
 
 	appID := totoro.NewAppID(*topic, "totoro-node")

@@ -9,6 +9,11 @@
 // keep-alive tree repair, and master-state replication):
 //
 //	totoro-sim -churn 2s -churn-down 10s
+//
+// With -churn-restart, downed nodes come back with amnesia and recover
+// from their write-ahead logs instead of reviving with memory intact:
+//
+//	totoro-sim -churn 2s -churn-down 10s -churn-restart
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		churn     = flag.Duration("churn", 0, "mean time between node failures (0 = no churn)")
 		churnDown = flag.Duration("churn-down", 10*time.Second, "downtime before a failed node revives")
+		restart   = flag.Bool("churn-restart", false, "downed nodes crash-restart from their write-ahead log instead of reviving with memory intact (implies durable stores)")
 		metrics   = flag.Bool("metrics", false, "print the merged fleet telemetry snapshot after the run")
 	)
 	flag.Parse()
@@ -84,6 +90,15 @@ func main() {
 		cfg.ReplicaCheckInterval = 300 * time.Millisecond
 		cfg.FailoverGrace = 500 * time.Millisecond
 	}
+	if *restart {
+		if *churn <= 0 {
+			log.Fatal("-churn-restart needs -churn")
+		}
+		// Crash-restart churn: every node journals to a durable store and
+		// reboots from it. Replication stays on — failover covers the
+		// downtime, the WAL covers the reboot.
+		cfg.Durable = true
+	}
 	cluster := totoro.NewCluster(cfg)
 	ws := workload.MakeApps(workload.Params{
 		Task:             t,
@@ -122,9 +137,15 @@ func main() {
 			FailEvery: *churn,
 			Downtime:  *churnDown,
 			Exempt:    exempt,
+			Restart:   *restart,
+			OnRestart: func(addr transport.Addr, now time.Duration) { cluster.Restarted(addr) },
 		})
-		fmt.Printf("churn: one failure per %v on average, %v downtime (masters and workers exempt)\n",
-			*churn, *churnDown)
+		mode := "revive"
+		if *restart {
+			mode = "crash-restart from WAL"
+		}
+		fmt.Printf("churn: one failure per %v on average, %v downtime, %s (masters and workers exempt)\n",
+			*churn, *churnDown, mode)
 	}
 
 	progress := cluster.Train(appIDs...)
@@ -140,8 +161,12 @@ func main() {
 		for _, e := range cluster.Engines {
 			repairs += int(e.Metrics().Counter("pubsub.repairs").Value())
 		}
-		fmt.Printf("\nchurn: %d failures injected, %d revived, %d still down; %d tree repairs\n",
-			faults.Fails, faults.Revives, faults.Down(), repairs)
+		recoveries := 0
+		for _, e := range cluster.Engines {
+			recoveries += int(e.Metrics().Counter("engine.recoveries").Value())
+		}
+		fmt.Printf("\nchurn: %d failures injected, %d revived, %d restarted (%d WAL recoveries), %d still down; %d tree repairs\n",
+			faults.Fails, faults.Revives, faults.Restarts, recoveries, faults.Down(), repairs)
 	}
 	var worst float64
 	for _, p := range progress {

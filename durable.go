@@ -1,0 +1,446 @@
+package totoro
+
+import (
+	"sort"
+	"time"
+
+	"totoro/internal/ids"
+	"totoro/internal/ml"
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+	"totoro/internal/store"
+	"totoro/internal/wire/codec"
+	"totoro/internal/workload"
+)
+
+// Durable engine state: the WAL record types journaled through
+// Options.Store and the boot-time replay that folds them back into a
+// live engine. The granularity is the engine's own mutation points —
+// identity claimed, worker subscribed, mastership assumed (announce,
+// promotion, or restart re-claim), round begun, round committed, replica
+// accepted — journaled *before* the corresponding network action, so a
+// node never acknowledges state it could forget.
+//
+// Master images reuse replicaMsg wholesale: the failover layer already
+// defines "everything needed to reconstruct a mastership" (spec, model,
+// progress, epoch), and durability is failover against one's own death.
+// An image's Round is always the last *completed* round — an in-flight
+// round dies with the process and is simply re-run after recovery, which
+// is exactly how failover promotion resumes too.
+
+// walIdentity claims this node's permanent overlay identity; it is the
+// first record of every journal, so a restarted node rejoins the ring
+// under the ID its peers and trees already know.
+type walIdentity struct {
+	Self ring.Contact
+}
+
+// walSub records a worker subscription (the shard itself lives with the
+// driver that owns the data and is re-attached after recovery).
+type walSub struct {
+	App        AppID
+	Restricted bool
+}
+
+// walUnsub records leaving an application.
+type walUnsub struct {
+	App AppID
+}
+
+// walRound marks a round begun (the paper's round start): informational
+// on replay — the in-flight round is re-run from the last committed
+// image — but it makes the journal a complete round-event history.
+type walRound struct {
+	App   AppID
+	Round int
+}
+
+// walMaster is a full mastership image: journaled when a mastership is
+// assumed and at every round commit (the model update is the commit).
+type walMaster struct {
+	Rep replicaMsg
+}
+
+// walReplica records a remote master's round state accepted by this node
+// as a leaf-set replica holder — after a restart the node resumes its
+// ownership probes and can still promote.
+type walReplica struct {
+	Rep replicaMsg
+}
+
+// walSnapshot is the periodic full-state image that lets the WAL be
+// truncated: everything the records since boot fold to, in sorted order
+// so identical states serialize to identical bytes.
+type walSnapshot struct {
+	Self     ring.Contact
+	Masters  []replicaMsg
+	Replicas []replicaMsg
+	Subs     []walSub
+}
+
+// Codec tags for the durable records, continuing the engine's block in
+// the application range. Tags are storage contract: never reuse or
+// renumber — journals on disk outlive binaries.
+const (
+	tagWalIdentity = tagReplica + 1 + iota
+	tagWalSub
+	tagWalUnsub
+	tagWalRound
+	tagWalMaster
+	tagWalSnapshot
+	tagWalReplica
+)
+
+func registerWalCodecs() {
+	codec.RegisterCodec(tagWalIdentity, walIdentity{},
+		func(e *codec.Enc, v any) { e.Contact(v.(walIdentity).Self) },
+		func(d *codec.Dec) any { return walIdentity{Self: d.Contact()} })
+	codec.RegisterCodec(tagWalSub, walSub{},
+		func(e *codec.Enc, v any) {
+			r := v.(walSub)
+			e.ID(r.App)
+			e.Bool(r.Restricted)
+		},
+		func(d *codec.Dec) any { return walSub{App: d.ID(), Restricted: d.Bool()} })
+	codec.RegisterCodec(tagWalUnsub, walUnsub{},
+		func(e *codec.Enc, v any) { e.ID(v.(walUnsub).App) },
+		func(d *codec.Dec) any { return walUnsub{App: d.ID()} })
+	codec.RegisterCodec(tagWalRound, walRound{},
+		func(e *codec.Enc, v any) {
+			r := v.(walRound)
+			e.ID(r.App)
+			e.Int(r.Round)
+		},
+		func(d *codec.Dec) any { return walRound{App: d.ID(), Round: d.Int()} })
+	codec.RegisterCodec(tagWalMaster, walMaster{},
+		func(e *codec.Enc, v any) { encReplica(e, v.(walMaster).Rep) },
+		func(d *codec.Dec) any { return walMaster{Rep: decReplica(d)} })
+	codec.RegisterCodec(tagWalReplica, walReplica{},
+		func(e *codec.Enc, v any) { encReplica(e, v.(walReplica).Rep) },
+		func(d *codec.Dec) any { return walReplica{Rep: decReplica(d)} })
+	codec.RegisterCodec(tagWalSnapshot, walSnapshot{},
+		func(e *codec.Enc, v any) {
+			s := v.(walSnapshot)
+			e.Contact(s.Self)
+			e.Uvarint(uint64(len(s.Masters)))
+			for _, r := range s.Masters {
+				encReplica(e, r)
+			}
+			e.Uvarint(uint64(len(s.Replicas)))
+			for _, r := range s.Replicas {
+				encReplica(e, r)
+			}
+			e.Uvarint(uint64(len(s.Subs)))
+			for _, w := range s.Subs {
+				e.ID(w.App)
+				e.Bool(w.Restricted)
+			}
+		},
+		func(d *codec.Dec) any {
+			s := walSnapshot{Self: d.Contact()}
+			if n := d.SliceLen(16); n > 0 {
+				s.Masters = make([]replicaMsg, n)
+				for i := range s.Masters {
+					s.Masters[i] = decReplica(d)
+				}
+			}
+			if n := d.SliceLen(16); n > 0 {
+				s.Replicas = make([]replicaMsg, n)
+				for i := range s.Replicas {
+					s.Replicas[i] = decReplica(d)
+				}
+			}
+			if n := d.SliceLen(17); n > 0 {
+				s.Subs = make([]walSub, n)
+				for i := range s.Subs {
+					s.Subs[i] = walSub{App: d.ID(), Restricted: d.Bool()}
+				}
+			}
+			return s
+		})
+	store.RegisterRecords(
+		walIdentity{}, walSub{}, walUnsub{}, walRound{},
+		walMaster{}, walReplica{}, walSnapshot{},
+	)
+}
+
+// durableState is the fold of a journal: the recovered engine image.
+type durableState struct {
+	self     ring.Contact
+	masters  map[AppID]replicaMsg
+	replicas map[AppID]replicaMsg
+	subs     map[AppID]bool
+	loaded   bool
+}
+
+func newDurableState() *durableState {
+	return &durableState{
+		masters:  make(map[AppID]replicaMsg),
+		replicas: make(map[AppID]replicaMsg),
+		subs:     make(map[AppID]bool),
+	}
+}
+
+// loadDurable replays a store into a recovered engine image. Store-level
+// errors (corrupt snapshot, unreadable journal) degrade to whatever
+// replayed cleanly — a partially recovered node re-earns the rest
+// through the normal protocols, which beats refusing to boot.
+func loadDurable(st store.Store) (*durableState, error) {
+	state, recs, err := st.Load()
+	ds := newDurableState()
+	if snap, ok := state.(walSnapshot); ok {
+		ds.applySnapshot(snap)
+	}
+	for _, rec := range recs {
+		ds.apply(rec)
+	}
+	return ds, err
+}
+
+func (ds *durableState) applySnapshot(s walSnapshot) {
+	ds.loaded = true
+	ds.self = s.Self
+	for _, r := range s.Masters {
+		ds.masters[r.Spec.ID] = r
+	}
+	for _, r := range s.Replicas {
+		ds.replicas[r.Spec.ID] = r
+	}
+	for _, w := range s.Subs {
+		ds.subs[w.App] = w.Restricted
+	}
+}
+
+// apply folds one record, mirroring the live mutation it journaled —
+// including the demotion rules of handleReplica, so a replayed journal
+// reaches the same masters/replicas split the live engine held.
+func (ds *durableState) apply(rec any) {
+	ds.loaded = true
+	switch r := rec.(type) {
+	case walIdentity:
+		ds.self = r.Self
+	case walSub:
+		ds.subs[r.App] = r.Restricted
+	case walUnsub:
+		delete(ds.subs, r.App)
+	case walRound:
+		// The begun round is in flight; recovery re-runs it from the last
+		// committed image, so only the started flag matters here.
+		if m, ok := ds.masters[r.App]; ok && !m.Started {
+			m.Started = true
+			ds.masters[r.App] = m
+		}
+	case walMaster:
+		ds.masters[r.Rep.Spec.ID] = r.Rep
+		delete(ds.replicas, r.Rep.Spec.ID)
+	case walReplica:
+		app := r.Rep.Spec.ID
+		if m, ok := ds.masters[app]; ok {
+			switch {
+			case r.Rep.Epoch < m.Epoch:
+				return
+			case r.Rep.Epoch == m.Epoch:
+				if r.Rep.Master.Addr == ds.self.Addr {
+					return
+				}
+				if ids.Closer(app, ds.self.ID, r.Rep.Master.ID) {
+					return
+				}
+				delete(ds.masters, app)
+			default:
+				delete(ds.masters, app)
+			}
+		}
+		if cur, ok := ds.replicas[app]; ok && !newerReplica(r.Rep, cur) {
+			return
+		}
+		ds.replicas[app] = r.Rep
+	case walSnapshot:
+		ds.applySnapshot(r)
+	}
+}
+
+// --- engine integration ---
+
+// journal appends one record to the durable store, folding the WAL into
+// a snapshot every SnapshotEvery appends. Storage failure is counted and
+// tolerated: the engine keeps serving from memory (durability degrades,
+// availability does not).
+func (e *Engine) journal(rec any) {
+	if e.store == nil {
+		return
+	}
+	if err := e.store.Append(rec); err != nil {
+		e.ctrStoreErrors.Inc()
+		return
+	}
+	e.ctrStoreAppends.Inc()
+	e.walAppends++
+	every := e.opts.SnapshotEvery
+	if every <= 0 {
+		every = 64
+	}
+	// The boot-time identity record can trip the cadence before the ring
+	// exists; the next journaled mutation folds it into a snapshot.
+	if e.walAppends >= every && e.ring != nil {
+		e.snapshotDurable()
+	}
+}
+
+func (e *Engine) snapshotDurable() {
+	e.walAppends = 0
+	if err := e.store.Snapshot(e.buildSnapshot()); err != nil {
+		e.ctrStoreErrors.Inc()
+		return
+	}
+	e.ctrStoreSnapshots.Inc()
+}
+
+// buildSnapshot captures the engine's durable state, sorted so the same
+// state always serializes to the same bytes. A master's in-flight round
+// is recorded as not yet begun: its aggregate would die with us anyway,
+// and recovery re-runs it — the same contract a crash between rounds
+// has.
+func (e *Engine) buildSnapshot() walSnapshot {
+	snap := walSnapshot{Self: e.Self()}
+	for _, app := range sortedApps(e.masters) {
+		m := e.masters[app]
+		rep := e.masterImage(m)
+		if m.inFlight {
+			rep.Round--
+		}
+		snap.Masters = append(snap.Masters, rep)
+	}
+	for _, app := range sortedApps(e.replicas) {
+		snap.Replicas = append(snap.Replicas, *e.replicas[app])
+	}
+	for _, app := range sortedApps(e.workers) {
+		snap.Subs = append(snap.Subs, walSub{App: app, Restricted: e.workers[app].restricted})
+	}
+	return snap
+}
+
+func sortedApps[T any](m map[AppID]T) []AppID {
+	out := make([]AppID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// restore installs a recovered image into a freshly built engine (called
+// from NewEngine, before any traffic).
+func (e *Engine) restore(ds *durableState) {
+	for app, rep := range ds.masters {
+		e.masters[app] = masterFromImage(rep)
+	}
+	for app, rep := range ds.replicas {
+		r := rep
+		e.replicas[app] = &r
+	}
+	for app, restricted := range ds.subs {
+		e.workers[app] = &workerState{restricted: restricted}
+	}
+	e.recovered = true
+	e.ctrRecoveries.Inc()
+}
+
+func masterFromImage(rep replicaMsg) *masterState {
+	return &masterState{
+		spec:    rep.Spec,
+		global:  append([]float64(nil), rep.Global...),
+		round:   rep.Round,
+		epoch:   rep.Epoch,
+		started: rep.Started,
+		done:    rep.Done,
+		progress: &workload.Progress{
+			App:     rep.Spec.Name,
+			Points:  append([]workload.AccuracyPoint(nil), rep.Points...),
+			Done:    rep.DoneAt,
+			Reached: rep.Reached,
+		},
+	}
+}
+
+// Recovered reports whether this engine booted from a non-empty durable
+// store.
+func (e *Engine) Recovered() bool { return e.recovered }
+
+// AttachShard re-attaches a local data shard to a recovered worker
+// subscription. Shards are the driver's data, not the engine's: the
+// store journals *that* this node works for an app, and whoever owns the
+// data re-supplies it after a restart.
+func (e *Engine) AttachShard(app AppID, shard *ml.Dataset) {
+	if w, ok := e.workers[app]; ok {
+		w.shard = shard
+	}
+}
+
+// ResumeAfterRestart re-establishes this node's live roles from its
+// recovered state. Call it once the node has rejoined the overlay (the
+// ring must know the node's neighbors before trees can be reclaimed):
+//
+//   - recovered worker subscriptions re-join their trees;
+//   - recovered masterships are re-claimed at a bumped epoch — demoting
+//     any successor that promoted itself during the outage — and
+//     unfinished training resumes after the failover grace period, from
+//     the last committed round;
+//   - recovered replicas restart their ownership probes.
+func (e *Engine) ResumeAfterRestart() {
+	if !e.recovered || e.resumed {
+		return
+	}
+	e.resumed = true
+	for _, app := range sortedApps(e.workers) {
+		e.ps.Subscribe(app)
+	}
+	for _, app := range sortedApps(e.masters) {
+		m := e.masters[app]
+		m.epoch++
+		e.journal(walMaster{Rep: e.masterImage(m)})
+		// The bumped epoch restarts the tree's multicast stream (sequence
+		// numbers restart from 1 under a new generation); without it, every
+		// member that saw the pre-crash stream would drop the recovered
+		// master's broadcasts as replays until the sequence passed the old
+		// high-water mark.
+		e.ps.CreateWithConfig(app, pubsub.TreeConfig{
+			MaxFanout:  m.spec.TreeFanout,
+			AggTimeout: m.spec.RoundDeadline,
+			Epoch:      uint64(m.epoch),
+		})
+		e.ps.ResetRounds(app)
+		e.replicateRound(m)
+		if m.started && !m.done {
+			grace := e.opts.FailoverGrace
+			if grace <= 0 {
+				grace = time.Second
+			}
+			round := m.round
+			var resume func()
+			resume = func() {
+				cur, ok := e.masters[app]
+				if !ok || cur != m || m.done || m.round != round {
+					return
+				}
+				// Don't begin a round into an empty tree: right after a
+				// restart the workers are still parked under the interim
+				// root (or mid-rejoin), and a childless root would complete
+				// every remaining round instantly with zero participants.
+				// Wait another grace period for the tree to hand back.
+				if info, treeOK := e.ps.TreeInfo(app); treeOK && len(info.Children) == 0 {
+					e.env.After(grace, resume)
+					return
+				}
+				e.beginRound(m)
+			}
+			e.env.After(grace, resume)
+		}
+	}
+	for _, app := range sortedApps(e.replicas) {
+		rep := e.replicas[app]
+		if rep.Started && !rep.Done {
+			e.ensureReplicaCheck(app)
+		}
+	}
+}

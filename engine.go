@@ -10,6 +10,7 @@ import (
 	"totoro/internal/obs"
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
+	"totoro/internal/store"
 	"totoro/internal/transport"
 	"totoro/internal/workload"
 )
@@ -53,6 +54,14 @@ type Options struct {
 	// resuming rounds, giving orphaned workers time to re-attach to the
 	// new tree root (0 = 1s).
 	FailoverGrace time.Duration
+	// Store, when set, journals every engine mutation (identity, worker
+	// subscriptions, mastership images, round boundaries, accepted
+	// replicas) so the node can recover its roles after a crash-restart.
+	// Nil (the default) keeps the engine purely in-memory.
+	Store store.Store
+	// SnapshotEvery is how many WAL appends accumulate before the journal
+	// is folded into a snapshot and truncated (0 = 64).
+	SnapshotEvery int
 }
 
 // Callbacks are the user-facing upcalls of Table 2 for custom
@@ -87,6 +96,10 @@ type masterState struct {
 	progress *workload.Progress
 	started  bool
 	done     bool
+	// inFlight marks a begun, uncommitted round: durable snapshots taken
+	// mid-round record the previous round as the last completed one, so a
+	// recovered master re-runs the interrupted round (durable.go).
+	inFlight bool
 }
 
 type workerState struct {
@@ -122,6 +135,18 @@ type Engine struct {
 	ctrPromotions *obs.Counter
 	ctrRounds     *obs.Counter
 
+	// Durable state (durable.go). store journals engine mutations;
+	// walAppends counts records since the last snapshot; recovered/resumed
+	// track the boot-from-journal lifecycle.
+	store             store.Store
+	walAppends        int
+	recovered         bool
+	resumed           bool
+	ctrStoreAppends   *obs.Counter
+	ctrStoreSnapshots *obs.Counter
+	ctrStoreErrors    *obs.Counter
+	ctrRecoveries     *obs.Counter
+
 	// RoundHook, when set, observes every completed master round
 	// (experiment instrumentation).
 	RoundHook func(app AppID, round int, acc float64, now time.Duration)
@@ -151,6 +176,28 @@ func NewEngine(env transport.Env, self ring.Contact, opts Options) *Engine {
 	}
 	e.ctrPromotions = env.Metrics().Counter("engine.promotions")
 	e.ctrRounds = env.Metrics().Counter("engine.rounds")
+	if opts.Store != nil {
+		e.store = opts.Store
+		e.ctrStoreAppends = env.Metrics().Counter("store.appends")
+		e.ctrStoreSnapshots = env.Metrics().Counter("store.snapshots")
+		e.ctrStoreErrors = env.Metrics().Counter("store.errors")
+		e.ctrRecoveries = env.Metrics().Counter("engine.recoveries")
+		RegisterWire() // journals decode through the same codec registry
+		ds, err := loadDurable(e.store)
+		if err != nil {
+			e.ctrStoreErrors.Inc()
+		}
+		if ds.loaded {
+			// Rejoin under the identity the journal recorded: peers, trees,
+			// and replicated state all key on it.
+			if !ds.self.ID.IsZero() {
+				self = ring.Contact{ID: ds.self.ID, Addr: self.Addr}
+			}
+			e.restore(ds)
+		} else {
+			e.journal(walIdentity{Self: self})
+		}
+	}
 	e.ring = ring.New(env, self, opts.Ring)
 	e.ps = pubsub.New(env, e.ring, opts.PubSub)
 	// The engine interposes on the ring's upcalls to catch its own control
@@ -224,6 +271,7 @@ func (e *Engine) Subscribe(app AppID, shard *ml.Dataset, restricted bool) error 
 		}
 	}
 	e.workers[app] = &workerState{shard: shard, restricted: restricted}
+	e.journal(walSub{App: app, Restricted: restricted})
 	e.ps.Subscribe(app)
 	return nil
 }
@@ -234,6 +282,7 @@ func (e *Engine) SubscribeTopic(app AppID) { e.ps.Subscribe(app) }
 // Unsubscribe leaves an application.
 func (e *Engine) Unsubscribe(app AppID) {
 	delete(e.workers, app)
+	e.journal(walUnsub{App: app})
 	e.ps.Unsubscribe(app)
 }
 
@@ -327,6 +376,7 @@ func (e *Engine) Deliver(d ring.Delivery) {
 		e.maybePromote(p.App)
 		if m, ok := e.masters[p.App]; ok && !m.started && !m.done {
 			m.started = true
+			e.journal(walMaster{Rep: e.masterImage(m)})
 			e.replicateRound(m)
 			e.beginRound(m)
 		}
@@ -363,17 +413,23 @@ func (e *Engine) becomeMaster(spec AppSpec) {
 		progress: &workload.Progress{App: spec.Name},
 	}
 	e.masters[spec.ID] = m
+	// Journal the mastership before claiming the tree: a crash after this
+	// point recovers as master, never as a node that half-claimed a root.
+	e.journal(walMaster{Rep: e.masterImage(m)})
 	// Claim the tree root so early subscribers splice below us, installing
 	// the owner's tree parameters (fanout cap, semi-sync round deadline).
 	e.ps.CreateWithConfig(spec.ID, pubsub.TreeConfig{
 		MaxFanout:  spec.TreeFanout,
 		AggTimeout: spec.RoundDeadline,
+		Epoch:      uint64(m.epoch),
 	})
 	e.replicateRound(m)
 }
 
 func (e *Engine) beginRound(m *masterState) {
 	m.round++
+	m.inFlight = true
+	e.journal(walRound{App: m.spec.ID, Round: m.round})
 	params := append([]float64(nil), m.global...)
 	e.ps.Publish(m.spec.ID, roundStart{
 		App:           m.spec.ID,
@@ -481,6 +537,7 @@ func (e *Engine) completeRound(m *masterState, round int, u updateAgg) {
 	if m.done || round != m.round {
 		return // stale or supplementary flush
 	}
+	m.inFlight = false
 	if u.Acc != nil {
 		if d := u.Acc.MeanDelta(); d != nil {
 			fl.ApplyDelta(m.global, d)
@@ -515,11 +572,15 @@ func (e *Engine) completeRound(m *masterState, round int, u updateAgg) {
 		m.done = true
 		m.progress.Done = now
 		m.progress.Reached = reached
-		// The final replica carries Done, which also stops the replica
-		// holders' ownership-probe loops.
+		// The committed round is journaled before anything is replicated or
+		// broadcast: a crash from here on recovers to this round, not the
+		// previous one. The final replica carries Done, which also stops the
+		// replica holders' ownership-probe loops.
+		e.journal(walMaster{Rep: e.masterImage(m)})
 		e.replicateRound(m)
 		return
 	}
+	e.journal(walMaster{Rep: e.masterImage(m)})
 	e.replicateRound(m)
 	e.beginRound(m)
 }

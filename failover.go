@@ -53,15 +53,11 @@ func newerReplica(a, b replicaMsg) bool {
 	return true // same version: accept the fresher copy
 }
 
-// replicateRound ships the master's current round state to its leaf-set
-// successors. Called after becoming master, on training start, and after
-// every completed round — so a replica is never more than one round stale.
-func (e *Engine) replicateRound(m *masterState) {
-	k := e.opts.Replicas
-	if k <= 0 {
-		return // replication disabled (the default)
-	}
-	rep := replicaMsg{
+// masterImage captures a mastership as a replicaMsg: the unit of both
+// network replication (replicateRound) and durable journaling
+// (walMaster/walSnapshot in durable.go).
+func (e *Engine) masterImage(m *masterState) replicaMsg {
+	return replicaMsg{
 		Spec:    m.spec,
 		Master:  e.Self(),
 		Epoch:   m.epoch,
@@ -73,6 +69,17 @@ func (e *Engine) replicateRound(m *masterState) {
 		Reached: m.progress.Reached,
 		DoneAt:  m.progress.Done,
 	}
+}
+
+// replicateRound ships the master's current round state to its leaf-set
+// successors. Called after becoming master, on training start, and after
+// every completed round — so a replica is never more than one round stale.
+func (e *Engine) replicateRound(m *masterState) {
+	k := e.opts.Replicas
+	if k <= 0 {
+		return // replication disabled (the default)
+	}
+	rep := e.masterImage(m)
 	for _, c := range e.ring.ClosestLeaves(m.spec.ID, k) {
 		e.env.Send(c.Addr, rep)
 	}
@@ -82,6 +89,10 @@ func (e *Engine) replicateRound(m *masterState) {
 // if the replica proves a higher-epoch master exists elsewhere.
 func (e *Engine) handleReplica(rep replicaMsg) {
 	app := rep.Spec.ID
+	// Journal before applying: replay folds the record through the same
+	// guards below (durableState.apply), reaching the same masters/replicas
+	// split a live engine holds.
+	e.journal(walReplica{Rep: rep})
 	if m, ok := e.masters[app]; ok {
 		switch {
 		case rep.Epoch < m.epoch:
@@ -97,10 +108,12 @@ func (e *Engine) handleReplica(rep replicaMsg) {
 				return
 			}
 			delete(e.masters, app)
+			e.ps.Disown(app)
 		default:
 			// A higher-epoch master exists (we are a revived old master or
 			// lost an epoch race): step down, keep the state as a replica.
 			delete(e.masters, app)
+			e.ps.Disown(app)
 		}
 	}
 	if cur, ok := e.replicas[app]; ok && !newerReplica(rep, *cur) {
@@ -177,9 +190,16 @@ func (e *Engine) maybePromote(app AppID) bool {
 	}
 	e.masters[app] = m
 	e.ctrPromotions.Inc()
+	// Journal the promotion before any network action: a crash mid-takeover
+	// recovers as the (bumped-epoch) master and re-runs the takeover.
+	e.journal(walMaster{Rep: e.masterImage(m)})
+	// The bumped epoch restarts the tree's multicast stream: members reset
+	// their dedup state instead of swallowing the new root's sequence
+	// numbers (which restart from 1) as replays of the dead master's.
 	e.ps.CreateWithConfig(app, pubsub.TreeConfig{
 		MaxFanout:  m.spec.TreeFanout,
 		AggTimeout: m.spec.RoundDeadline,
+		Epoch:      uint64(m.epoch),
 	})
 	// As an interior node this engine may hold aggRounds already marked
 	// flushed; a re-announced round must aggregate fresh.

@@ -18,9 +18,11 @@
 //     deterministic packages (same);
 //   - gofunc:   bare goroutines in protocol packages that bypass the
 //     supervised fl.Go/fl.ForEach pool and the event loop;
-//   - wiresafe: gob-unsafe fields in registered wire messages and Env.Send
+//   - wiresafe: gob-unsafe fields in registered wire messages, Env.Send
 //     payload types that were never gob-registered (decodes in-memory under
-//     simnet, fails over tcpnet).
+//     simnet, fails over tcpnet), and durable-store record types without
+//     codec-v2 encoders (the WAL refuses them at runtime, after the state
+//     change they were meant to journal).
 //
 // Findings a human has judged acceptable are suppressed in place with
 //

@@ -7,6 +7,7 @@ import (
 	"encoding/gob"
 	"time"
 
+	"totoro/internal/store"
 	"totoro/internal/transport"
 	"totoro/internal/wire/codec"
 )
@@ -112,6 +113,34 @@ func init() {
 	codec.RegisterCodec(67, []int32(nil), nil, nil)
 	gob.Register(CodecClean{})
 	gob.Register(CodecBad{})
+}
+
+// --- durable-store record registrations ---
+
+// RecClean is a certified WAL record: codec encoder, gob fallback, and
+// a registration with the store.
+type RecClean struct {
+	LSN  uint64
+	Name string
+}
+
+// RecNoCodec is registered as a record but has no codec-v2 encoder, so
+// the store refuses to journal it — at runtime, after the mutation.
+type RecNoCodec struct { // want "RecNoCodec is registered as a durable-store record but has no codec-v2 encoder"
+	N int
+}
+
+// RecBad is a record without a codec whose structure is also hostile;
+// both defects are reported at the declaration.
+type RecBad struct { // want "RecBad is registered as a durable-store record but has no codec-v2 encoder"
+	Name string
+	C    chan int // want "wire field RecBad.C has chan type"
+}
+
+func init() {
+	codec.RegisterCodec(68, RecClean{}, nil, nil)
+	gob.Register(RecClean{})
+	store.RegisterRecords(RecClean{}, RecNoCodec{}, RecBad{})
 }
 
 // Unregistered compiles and moves fine under simnet, but tcpnet's gob

@@ -30,10 +30,16 @@ import (
 //     must be able to carry every value a v2 codec can, or mixed fleets
 //     diverge. The static check is paired with the dynamic one:
 //     codec.CertifyLossless round-trips randomized instances of the same
-//     registry in the tests.
+//     registry in the tests;
+//   - every durable-store record type (internal/store.RegisterRecords)
+//     must have a codec-v2 encoder, because WAL bodies are encoded with
+//     codec.Value: a record without one is refused by Append/Snapshot at
+//     runtime — after the state change it was meant to journal already
+//     happened. Records without a codec are also structurally checked, so
+//     the defect is reported at the type, not discovered at replay.
 var WireSafe = &Analyzer{
 	Name: "wiresafe",
-	Doc:  "registered wire types must be lossless under gob and codec v2, Env.Send payloads must be registered, and codec types need gob fallback parity",
+	Doc:  "registered wire types must be lossless under gob and codec v2, Env.Send payloads must be registered, codec types need gob fallback parity, and store records need codec encoders",
 	Run:  runWireSafe,
 }
 
@@ -44,6 +50,7 @@ var WireSafe = &Analyzer{
 type WireSet struct {
 	entries map[string]WireEntry
 	codecs  map[string]WireEntry
+	records map[string]WireEntry
 }
 
 // WireEntry records one registered type and the registration site.
@@ -54,7 +61,11 @@ type WireEntry struct {
 
 // NewWireSet returns an empty set.
 func NewWireSet() *WireSet {
-	return &WireSet{entries: map[string]WireEntry{}, codecs: map[string]WireEntry{}}
+	return &WireSet{
+		entries: map[string]WireEntry{},
+		codecs:  map[string]WireEntry{},
+		records: map[string]WireEntry{},
+	}
 }
 
 // wireKey canonicalizes a type for set membership: pointers are flattened
@@ -105,11 +116,25 @@ func (w *WireSet) HasCodec(t types.Type) bool {
 // CodecLen returns the number of codec-v2 registered types.
 func (w *WireSet) CodecLen() int { return len(w.codecs) }
 
+// AddRecord records a durable-store record registration (first site wins).
+func (w *WireSet) AddRecord(t types.Type, pos token.Position) {
+	k := wireKey(t)
+	if _, ok := w.records[k]; !ok {
+		w.records[k] = WireEntry{Type: t, Pos: pos}
+	}
+}
+
+// RecordLen returns the number of registered store record types.
+func (w *WireSet) RecordLen() int { return len(w.records) }
+
 // Entries returns all gob-registered types in stable (key-sorted) order.
 func (w *WireSet) Entries() []WireEntry { return sortedEntries(w.entries) }
 
 // CodecEntries returns all codec-v2 registered types in stable order.
 func (w *WireSet) CodecEntries() []WireEntry { return sortedEntries(w.codecs) }
+
+// RecordEntries returns all store record types in stable order.
+func (w *WireSet) RecordEntries() []WireEntry { return sortedEntries(w.records) }
 
 func sortedEntries(m map[string]WireEntry) []WireEntry {
 	keys := make([]string, 0, len(m))
@@ -142,6 +167,15 @@ func CollectWire(pkg *Package, ws *WireSet) {
 			}
 			fn := calleeFunc(pass, call)
 			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Name() == "RegisterRecords" && strings.HasSuffix(fn.Pkg().Path(), "/store") {
+				// Variadic: every prototype argument is a record type.
+				for _, arg := range call.Args {
+					if t := pkg.Info.TypeOf(arg); t != nil {
+						ws.AddRecord(t, pkg.Fset.Position(arg.Pos()))
+					}
+				}
 				return true
 			}
 			argIdx, codec := -1, false
@@ -211,6 +245,29 @@ func runWireSafe(pass *Pass) {
 				"%s has a codec-v2 encoder but no gob registration; the gob fallback and legacy GobWire peers cannot carry it — add it to internal/wire.Register (or gob.Register alongside RegisterCodec)",
 				types.TypeString(named, nil))
 		}
+	}
+	// Check durable-store record types declared here. A record with a
+	// codec-v2 registration was already structurally checked by the codec
+	// pass above; one without is both missing its encoder (Append/Snapshot
+	// refuse it at runtime, after the mutation it journals has happened)
+	// and still owed the structural walk.
+	for _, e := range pass.Wire.RecordEntries() {
+		named := namedStructOf(e.Type)
+		if named == nil {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != pass.Path {
+			continue
+		}
+		if pass.Wire.HasCodec(named) {
+			continue
+		}
+		pass.Reportf(obj.Pos(),
+			"%s is registered as a durable-store record but has no codec-v2 encoder; the WAL encodes bodies with codec.Value, so Append/Snapshot refuse it at runtime — add a RegisterCodec alongside RegisterRecords",
+			types.TypeString(named, nil))
+		st := named.Underlying().(*types.Struct)
+		checkGobStruct(pass, obj.Name(), obj.Pos(), st, map[string]bool{wireKey(named): true})
 	}
 	// Check that Env.Send payloads are registered.
 	for _, f := range pass.Files {

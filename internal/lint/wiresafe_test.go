@@ -6,8 +6,9 @@ import "testing"
 // chan, unexported, all-unexported, and non-empty-interface fields of
 // registered types flagged (transitively); unregistered Env.Send payloads
 // flagged; codec-v2 registrations without gob fallback parity flagged;
-// custom-gob types, empty-interface payload slots, registered payloads,
-// and unnamed codec prototypes untouched.
+// durable-store records without codec encoders flagged (and structurally
+// walked); custom-gob types, empty-interface payload slots, registered
+// payloads, certified records, and unnamed codec prototypes untouched.
 func TestWireSafeCorpus(t *testing.T) {
 	RunExpectTest(t, "testdata/src/wiresafe", WireSafe)
 }

@@ -47,11 +47,14 @@ func (JoinMsg) pubsubMessage() {}
 // Welcome tells a new child who its parent is and hands down the tree's
 // owner-set configuration. LastSeq is the parent's newest multicast
 // sequence at adoption time: the child owes (and will repair) every
-// broadcast after it, and no history before it.
+// broadcast after it, and no history before it. Epoch is the stream
+// generation LastSeq belongs to (the parent's view); a child on an older
+// generation resets its multicast state and re-baselines.
 type Welcome struct {
 	Topic   ids.ID
 	Parent  ring.Contact
 	Cfg     TreeConfig
+	Epoch   uint64
 	LastSeq uint64
 }
 
@@ -69,6 +72,14 @@ type TreeConfig struct {
 	// children are missing — per-application semi-synchronous rounds
 	// (0 = node default).
 	AggTimeout time.Duration
+	// Epoch is the root generation of the tree's multicast stream. A new
+	// root (a failover promotion or a crash-restarted master re-claiming
+	// its tree) restarts Seq from 1 under a higher Epoch; members reset
+	// their reliable-multicast dedup state when the epoch advances, so the
+	// new stream is not suppressed by sequence numbers the old root
+	// already used. Streams with a lower epoch than a member has seen are
+	// stale and dropped.
+	Epoch uint64
 }
 
 // merged overlays the tree's overrides on the node defaults.
@@ -104,9 +115,12 @@ func (PublishMsg) pubsubMessage() {}
 // WireSize charges header plus object.
 func (p PublishMsg) WireSize() int { return 24 + transport.SizeOf(p.Object) }
 
-// Multicast flows from the root down the tree (model broadcast).
+// Multicast flows from the root down the tree (model broadcast). Seq
+// numbers the stream within one root generation (Epoch); dedup and gap
+// detection are per (Epoch, Seq).
 type Multicast struct {
 	Topic  ids.ID
+	Epoch  uint64
 	Seq    uint64
 	Depth  int
 	Object any
@@ -115,7 +129,7 @@ type Multicast struct {
 func (Multicast) pubsubMessage() {}
 
 // WireSize charges header plus object.
-func (m Multicast) WireSize() int { return 32 + transport.SizeOf(m.Object) }
+func (m Multicast) WireSize() int { return 40 + transport.SizeOf(m.Object) }
 
 // Upstream flows from children to parents carrying (partially aggregated)
 // updates for one round (gradient aggregation).
@@ -136,18 +150,20 @@ func (Upstream) pubsubMessage() {}
 func (u Upstream) WireSize() int { return 48 + transport.SizeOf(u.Object) }
 
 // KeepAlive is the parent→child heartbeat used for failure detection. It
-// piggybacks the parent's highest multicast sequence so a child can detect
-// a lost trailing broadcast and re-request it (reliable multicast).
+// piggybacks the parent's highest multicast sequence (and the stream
+// epoch it belongs to) so a child can detect a lost trailing broadcast
+// and re-request it (reliable multicast).
 type KeepAlive struct {
 	Topic   ids.ID
 	Parent  ring.Contact
+	Epoch   uint64
 	LastSeq uint64
 }
 
 func (KeepAlive) pubsubMessage() {}
 
 // WireSize reports a small heartbeat frame.
-func (KeepAlive) WireSize() int { return 24 }
+func (KeepAlive) WireSize() int { return 32 }
 
 // McNack asks the parent to retransmit missed multicast sequences
 // (reliable multicast: gap detection + bounded retransmission cache).

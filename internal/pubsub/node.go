@@ -88,16 +88,27 @@ type topicState struct {
 	// report; children missing childMissLimit rounds in a row are dropped.
 	missCount map[transport.Addr]int
 	seq       uint64
-	// Reliable multicast state: highest sequence seen, the first sequence
-	// this member ever saw (its baseline — history before it joined is not
-	// owed), the set of delivered sequences (bounded by the cache window),
-	// and a bounded cache of recent multicasts for retransmissions.
+	// Reliable multicast state: the root generation (epoch) the state
+	// belongs to, highest sequence seen, the first sequence this member
+	// ever saw (its baseline — history before it joined is not owed), the
+	// set of delivered sequences (bounded by the cache window), and a
+	// bounded cache of recent multicasts for retransmissions. All of it is
+	// reset when the epoch advances (mcAdvance): a new root restarts Seq
+	// from 1, and the old generation's numbers must not suppress it.
+	mcEpoch   uint64
 	mcLast    uint64
 	mcBase    uint64
 	mcSeen    map[uint64]bool
 	mcCache   map[uint64]Multicast
 	kaCancel  func()
 	checkStop func()
+	// adopted marks a root claimed implicitly — a JOIN or PUBLISH arrived
+	// while this node happened to be the topic's rendezvous (typically
+	// because the true owner was down). An adopted root periodically probes
+	// ring ownership (ensureRootCheck) and hands the tree back once the key
+	// routes elsewhere again; an owner-claimed root (CreateMsg) never does.
+	adopted  bool
+	rootStop func()
 }
 
 // Node implements the forest abstraction for one overlay node. It acts as
@@ -118,6 +129,7 @@ type Node struct {
 	ctrFlushes        *obs.Counter
 	ctrTimeoutFlushes *obs.Counter
 	ctrDeliveries     *obs.Counter
+	ctrRootHandoffs   *obs.Counter
 	depthHist         *obs.Histogram
 }
 
@@ -138,6 +150,7 @@ func New(env transport.Env, rn *ring.Node, cfg Config) *Node {
 	n.ctrFlushes = m.Counter("pubsub.flushes")                // aggregation rounds flushed upstream
 	n.ctrTimeoutFlushes = m.Counter("pubsub.timeout_flushes") // ... of which by straggler deadline
 	n.ctrDeliveries = m.Counter("pubsub.deliveries")          // multicast deliveries at this node
+	n.ctrRootHandoffs = m.Counter("pubsub.root_handoffs")     // adopted roots handed back to the owner
 	n.depthHist = m.Histogram("pubsub.deliver_depth", obs.DepthBuckets)
 	rn.SetApp(n)
 	return n
@@ -273,12 +286,19 @@ func (n *Node) Deliver(d ring.Delivery) {
 	case CreateMsg:
 		st := n.state(m.Topic)
 		st.isRoot = true
+		st.adopted = false // owner claim: this root never hands itself back
 		st.parent = ring.Contact{}
 		st.joining = false
 		n.learnTreeConfig(st, m.Cfg)
+		// A re-created root (bumped-epoch claim after failover or restart)
+		// starts a fresh multicast stream; any state this node held as an
+		// earlier member of the tree belongs to the old generation.
+		n.mcAdvance(st, m.Cfg.Epoch)
 	case JoinMsg:
 		st := n.state(m.Topic)
-		st.isRoot = true
+		if !st.isRoot {
+			n.adoptRoot(st)
+		}
 		st.parent = ring.Contact{}
 		st.joining = false
 		if m.Subscriber.Addr != n.ring.Self().Addr {
@@ -286,7 +306,9 @@ func (n *Node) Deliver(d ring.Delivery) {
 		}
 	case PublishMsg:
 		st := n.state(m.Topic)
-		st.isRoot = true // the rendezvous node is the master by definition
+		if !st.isRoot {
+			n.adoptRoot(st) // the rendezvous node is the master by definition
+		}
 		n.multicast(st, m.Object)
 	}
 }
@@ -361,12 +383,18 @@ func (n *Node) learnTreeConfig(st *topicState, cfg TreeConfig) {
 		st.ownerCfg.AggTimeout = cfg.AggTimeout
 		changed = true
 	}
+	// The epoch only ever moves forward (a lower value is a stale sender,
+	// not new knowledge).
+	if cfg.Epoch > st.ownerCfg.Epoch {
+		st.ownerCfg.Epoch = cfg.Epoch
+		changed = true
+	}
 	if !changed {
 		return
 	}
 	n.enforceFanout(st)
 	for _, c := range childList(st) {
-		n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, LastSeq: st.mcLast})
+		n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, Epoch: st.mcEpoch, LastSeq: st.mcLast})
 	}
 }
 
@@ -409,7 +437,7 @@ func (n *Node) addChild(st *topicState, c ring.Contact) {
 		return
 	}
 	if _, dup := st.children[c.Addr]; dup {
-		n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, LastSeq: st.mcLast})
+		n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, Epoch: st.mcEpoch, LastSeq: st.mcLast})
 		return
 	}
 	if max := n.effCfg(st).MaxFanout; max > 0 && len(st.children) >= max {
@@ -425,12 +453,22 @@ func (n *Node) addChild(st *topicState, c ring.Contact) {
 		return
 	}
 	st.children[c.Addr] = c
-	n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, LastSeq: st.mcLast})
+	n.env.Send(c.Addr, Welcome{Topic: st.topic, Parent: n.ring.Self(), Cfg: st.ownerCfg, Epoch: st.mcEpoch, LastSeq: st.mcLast})
 	n.ensureKeepAlive(st)
 }
 
 func (n *Node) handleWelcome(m Welcome) {
 	st := n.state(m.Topic)
+	if m.Epoch > st.mcEpoch {
+		// The parent is on a newer root generation than anything this node
+		// has seen: discard old-stream state and re-baseline against the
+		// parent's view (history before adoption is not owed). This runs
+		// before learnTreeConfig so the re-welcomes it sends to existing
+		// children pair the new epoch with this node's (reset) stream
+		// state, cascading the generation change down the subtree.
+		n.mcAdvance(st, m.Epoch)
+		st.mcBase = m.LastSeq + 1
+	}
 	n.learnTreeConfig(st, m.Cfg)
 	if st.mcBase == 0 {
 		// First adoption: owed everything the parent multicasts after now.
@@ -458,8 +496,9 @@ func (n *Node) handleWelcome(m Welcome) {
 }
 
 func (n *Node) multicast(st *topicState, obj any) {
+	n.mcAdvance(st, st.ownerCfg.Epoch)
 	st.seq++
-	m := Multicast{Topic: st.topic, Seq: st.seq, Depth: 0, Object: obj}
+	m := Multicast{Topic: st.topic, Epoch: st.mcEpoch, Seq: st.seq, Depth: 0, Object: obj}
 	n.recordMulticast(st, m)
 	n.recordDeliver(st, 0)
 	if n.handlers.OnDeliver != nil {
@@ -500,7 +539,7 @@ func (n *Node) recordDeliver(st *topicState, depth int) {
 func (n *Node) forwardMulticast(st *topicState, m Multicast) {
 	for _, c := range childList(st) {
 		n.ctrMulticasts.Inc()
-		n.env.Send(c.Addr, Multicast{Topic: m.Topic, Seq: m.Seq, Depth: m.Depth + 1, Object: m.Object})
+		n.env.Send(c.Addr, Multicast{Topic: m.Topic, Epoch: m.Epoch, Seq: m.Seq, Depth: m.Depth + 1, Object: m.Object})
 	}
 }
 
@@ -508,12 +547,49 @@ func (n *Node) forwardMulticast(st *topicState, m Multicast) {
 // mcCacheSize multicasts to children that missed them.
 const mcCacheSize = 16
 
+// mcAdvance moves the topic's reliable-multicast state to a newer stream
+// epoch. A higher epoch means a new root generation (failover promotion
+// or a crash-restarted master re-claiming its tree): the new root
+// restarts Seq from 1, so every per-sequence structure from the old
+// generation — dedup set, retransmission cache, baseline, high-water mark
+// — must be discarded or it would silently swallow the new stream. The
+// old generation's in-flight aggregation rounds are void for the same
+// reason (the new root re-announces the round it found incomplete, and
+// flushed aggRound state from the first announcement would suppress the
+// re-aggregation), so they are cleared too, cancelling their deadline
+// timers. It reports whether epoch is current-or-newer; a lower epoch is
+// a stale stream the caller must drop.
+func (n *Node) mcAdvance(st *topicState, epoch uint64) bool {
+	if epoch < st.mcEpoch {
+		return false
+	}
+	if epoch == st.mcEpoch {
+		return true
+	}
+	st.mcEpoch = epoch
+	st.seq = 0
+	st.mcLast, st.mcBase = 0, 0
+	st.mcSeen = make(map[uint64]bool)
+	st.mcCache = make(map[uint64]Multicast)
+	for _, r := range st.rounds {
+		if r.cancel != nil {
+			r.cancel()
+		}
+	}
+	st.rounds = make(map[int]*aggRound)
+	st.missCount = make(map[transport.Addr]int)
+	return true
+}
+
 // recordMulticast registers a received (or originated) multicast for the
 // reliable-multicast machinery: duplicate suppression, a bounded
 // retransmission cache, and gap detection (a sequence jump means earlier
 // broadcasts were lost in flight; the node re-requests them from its
 // parent). It reports whether the multicast is new.
 func (n *Node) recordMulticast(st *topicState, m Multicast) bool {
+	if !n.mcAdvance(st, m.Epoch) {
+		return false // stale root generation
+	}
 	if st.mcSeen[m.Seq] {
 		return false
 	}
@@ -558,7 +634,7 @@ func (n *Node) handleNack(m McNack) {
 	for _, seq := range m.Missing {
 		if mc, ok := st.mcCache[seq]; ok {
 			n.env.Send(m.Child.Addr, Multicast{
-				Topic: mc.Topic, Seq: mc.Seq, Depth: mc.Depth + 1, Object: mc.Object,
+				Topic: mc.Topic, Epoch: mc.Epoch, Seq: mc.Seq, Depth: mc.Depth + 1, Object: mc.Object,
 			})
 		}
 	}
@@ -701,7 +777,7 @@ func (n *Node) ensureKeepAlive(st *topicState) {
 	tick = func() {
 		if len(st.children) > 0 {
 			for _, c := range childList(st) {
-				n.env.Send(c.Addr, KeepAlive{Topic: st.topic, Parent: n.ring.Self(), LastSeq: st.mcLast})
+				n.env.Send(c.Addr, KeepAlive{Topic: st.topic, Parent: n.ring.Self(), Epoch: st.mcEpoch, LastSeq: st.mcLast})
 			}
 		}
 		st.kaCancel = n.env.After(n.cfg.KeepAliveInterval, tick)
@@ -735,6 +811,17 @@ func (n *Node) handleKeepAlive(m KeepAlive) {
 	// joined member catches up with just the latest broadcast (the current
 	// model) rather than history it never owed.
 	if m.LastSeq == 0 {
+		return
+	}
+	if m.Epoch != st.mcEpoch {
+		if m.Epoch < st.mcEpoch {
+			return // stale stream: its sequence numbers mean nothing now
+		}
+		// The parent is on a newer root generation this node has not seen a
+		// broadcast from yet; sequence numbers are not comparable across
+		// generations, so just request the parent's newest multicast. The
+		// retransmission carries the new epoch and resets local state.
+		n.env.Send(st.parent.Addr, McNack{Topic: st.topic, Child: n.ring.Self(), Missing: []uint64{m.LastSeq}})
 		return
 	}
 	var missing []uint64
@@ -777,6 +864,92 @@ func (n *Node) repairParent(st *topicState) {
 	n.ring.Route(st.topic, JoinMsg{Topic: st.topic, Subscriber: n.ring.Self()})
 }
 
+// adoptRoot makes this node the topic's root implicitly: the ring routed a
+// JOIN or PUBLISH here, so by rendezvous rule the tree hangs off us — but
+// nobody created the tree here, so ownership is provisional. The adopted
+// flag plus the ownership probe make it revocable: when the key's true
+// owner is reachable again (a restarted master rejoining the overlay), the
+// probe notices the key routes away and hands the whole subtree back.
+// Without this, a master outage strands every worker that re-joined
+// through the interim root — the interim node keeps multicasting nothing
+// and aggregating updates nobody collects.
+func (n *Node) adoptRoot(st *topicState) {
+	st.isRoot = true
+	st.adopted = true
+	st.parent = ring.Contact{}
+	st.joining = false
+	n.ensureRootCheck(st)
+}
+
+// ensureRootCheck runs a periodic ownership probe while this node holds an
+// adopted root: if the ring resolves the topic key to another node again,
+// the adopted root demotes itself and re-joins — keeping its children, so
+// the subtree moves under the rightful root in one splice. Disabled (like
+// all failure detection) when keep-alives are off.
+func (n *Node) ensureRootCheck(st *topicState) {
+	if n.cfg.KeepAliveInterval <= 0 || st.rootStop != nil {
+		return
+	}
+	interval := n.cfg.KeepAliveTimeout
+	var tick func()
+	tick = func() {
+		if !st.isRoot || !st.adopted {
+			st.rootStop = nil
+			return
+		}
+		if !n.ring.NextHop(st.topic).IsZero() {
+			// The key routes elsewhere: the true owner is back. Hand off.
+			st.rootStop = nil
+			n.handBack(st)
+			return
+		}
+		st.rootStop = n.env.After(interval, tick)
+	}
+	st.rootStop = n.env.After(interval, tick)
+}
+
+// handBack demotes this node from root and splices it (with its whole
+// subtree) back under the topic's current rendezvous node.
+func (n *Node) handBack(st *topicState) {
+	st.isRoot = false
+	st.adopted = false
+	n.ctrRootHandoffs.Inc()
+	if st.subscribed || len(st.children) > 0 {
+		st.joining = true
+		n.ring.Route(st.topic, JoinMsg{Topic: st.topic, Subscriber: n.ring.Self()})
+		return
+	}
+	n.maybeLeave(st)
+}
+
+// Disown relinquishes tree rootship explicitly. The engine calls it when a
+// master demotes itself (a higher-epoch master exists elsewhere, see
+// handleReplica): the FL mastership and the tree root must move together.
+// Unlike an adopted root's hand-back, the children are dropped rather than
+// dragged along: a demoted master is typically one that died and revived,
+// so its children map predates its death — every live child repaired to
+// the new tree long ago, and splicing the phantom subtree into the live
+// tree would make each aggregation round wait out a timeout for reports
+// that never come. Any child that *is* still attached here notices the
+// missing keep-alives and repairs within a timeout, the normal churn path.
+func (n *Node) Disown(topic ids.ID) {
+	st, ok := n.topics[topic]
+	if !ok || !st.isRoot {
+		return
+	}
+	st.isRoot = false
+	st.adopted = false
+	n.ctrRootHandoffs.Inc()
+	st.children = make(map[transport.Addr]ring.Contact)
+	st.missCount = make(map[transport.Addr]int)
+	if st.subscribed {
+		st.joining = true
+		n.ring.Route(st.topic, JoinMsg{Topic: st.topic, Subscriber: n.ring.Self()})
+		return
+	}
+	n.maybeLeave(st)
+}
+
 // ResetRounds discards all aggregation-round state for topic, cancelling
 // any pending round timers. A master promoted through failover calls this:
 // from its life as an interior node the promoted root may hold aggRounds
@@ -811,6 +984,10 @@ func (n *Node) stopTimers(st *topicState) {
 	if st.checkStop != nil {
 		st.checkStop()
 		st.checkStop = nil
+	}
+	if st.rootStop != nil {
+		st.rootStop()
+		st.rootStop = nil
 	}
 	for _, r := range st.rounds {
 		if r.cancel != nil {

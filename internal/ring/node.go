@@ -143,6 +143,10 @@ func (n *Node) Route(key ids.ID, payload any) {
 
 // Receive implements transport.Handler for ring messages.
 func (n *Node) Receive(from transport.Addr, msg any) {
+	// A message received directly from a quarantined address is first-hand
+	// proof the node is back (e.g. crash-restarted and rejoining); the
+	// quarantine only guards against stale third-party gossip.
+	delete(n.deadUntil, from)
 	switch m := msg.(type) {
 	case Envelope:
 		if n.cfg.ReliableHops && from != n.self.Addr {

@@ -58,6 +58,21 @@ func TestQuarantineExpiresAndReaccepts(t *testing.T) {
 	if !inKnown(n, second) {
 		t.Fatal("AddContactDirect did not clear the quarantine")
 	}
+
+	// A message received directly FROM the quarantined address is
+	// first-hand liveness proof (the crash-restarted node announcing its
+	// rejoin) and lifts the quarantine immediately.
+	third := n.leafCW[0]
+	n.RemoveContact(third.Addr)
+	c.net.RunUntilIdle()
+	n.Receive(c.nodes[1].self.Addr, NodeJoined{Node: third})
+	if inKnown(n, third) {
+		t.Fatal("quarantine did not hold against gossip about the third victim")
+	}
+	n.Receive(third.Addr, NodeJoined{Node: third})
+	if !inKnown(n, third) {
+		t.Fatal("direct receipt from the quarantined address did not lift the quarantine")
+	}
 }
 
 // TestClosestLeavesTracksOwnerSuccession checks the invariant the failover

@@ -26,9 +26,19 @@ type ChurnConfig struct {
 	// experiments typically protect the workload's data holders so churn
 	// measures protocol recovery, not data loss).
 	Exempt []transport.Addr
-	// OnFail/OnRevive observe every churn event (logging, assertions).
-	OnFail   func(addr transport.Addr, now time.Duration)
-	OnRevive func(addr transport.Addr, now time.Duration)
+	// Restart makes downed nodes come back via Network.Restart instead of
+	// Revive: the process reboots with amnesia — a rebuilt protocol stack,
+	// dead timers, only durable-store state surviving — rather than as a
+	// stale-memory zombie. This is the harness for crash-recovery
+	// experiments: kill–revive tests protocol tolerance of stale peers,
+	// kill–restart tests recovery from the write-ahead log.
+	Restart bool
+	// OnFail/OnRevive/OnRestart observe every churn event (logging,
+	// assertions). OnRestart fires (instead of OnRevive) when Restart mode
+	// reboots a node, after the stack has been rebuilt.
+	OnFail    func(addr transport.Addr, now time.Duration)
+	OnRevive  func(addr transport.Addr, now time.Duration)
+	OnRestart func(addr transport.Addr, now time.Duration)
 }
 
 // Churn is a running churn process on a Network. It shares the network's
@@ -44,8 +54,8 @@ type Churn struct {
 	downBy  map[transport.Addr]bool
 	stopped bool
 
-	// Fails and Revives count the events injected so far.
-	Fails, Revives int
+	// Fails, Revives, and Restarts count the events injected so far.
+	Fails, Revives, Restarts int
 }
 
 // StartChurn launches a churn process on the network. The process runs on
@@ -114,6 +124,14 @@ func (c *Churn) failOne() {
 				return
 			}
 			delete(c.downBy, victim)
+			if c.cfg.Restart {
+				c.net.Restart(victim)
+				c.Restarts++
+				if c.cfg.OnRestart != nil {
+					c.cfg.OnRestart(victim, c.net.Now())
+				}
+				return
+			}
 			c.net.Revive(victim)
 			c.Revives++
 			if c.cfg.OnRevive != nil {

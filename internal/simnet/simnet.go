@@ -54,6 +54,15 @@ type Config struct {
 	// TraceCap bounds each node's trace-event ring buffer; 0 means
 	// obs.DefaultTraceCap.
 	TraceCap int
+	// Sizer, when set, charges each message its exact wire cost instead of
+	// the WireSize estimate. Pass codec.FrameSize to make simulated byte
+	// counters equal live-deployment (tcpnet) byte counters for every
+	// registered type — injected as a function because the codec package
+	// sits above this one in the dependency order. A Sizer error falls
+	// back to the estimate. Nil by default: exact accounting encodes every
+	// message, and existing experiments calibrated their bandwidth models
+	// against the estimates.
+	Sizer func(from transport.Addr, msg any) (int, error)
 }
 
 // ConstLatency returns a LatencyFunc with a fixed one-way delay.
@@ -111,6 +120,14 @@ type simNode struct {
 	rng     *rand.Rand
 	alive   bool
 	reg     *obs.Registry
+	// build reconstructs the node's protocol stack (kept from AddNode so
+	// Restart can reboot the node); env is the node's stable Env handle.
+	build func(transport.Env) transport.Handler
+	env   *env
+	// gen counts reboots. Timers capture the generation they were armed in
+	// and refuse to fire across a restart: the old incarnation's pending
+	// callbacks must not drive the rebooted stack (or send as it).
+	gen uint64
 	// Cached traffic counter handles (the send hot path must not hit the
 	// registry's name map per message).
 	msgsIn, msgsOut, bytesIn, bytesOut *obs.Counter
@@ -197,8 +214,9 @@ func (e *env) After(d time.Duration, fn func()) (cancel func()) {
 		d = 0
 	}
 	node := e.node
+	gen := node.gen
 	ev := e.net.schedule(d, func() {
-		if node.alive {
+		if node.alive && node.gen == gen {
 			fn()
 		}
 	})
@@ -225,6 +243,8 @@ func (n *Network) AddNode(addr transport.Addr, build func(transport.Env) transpo
 	}
 	n.nodes[addr] = node
 	e := &env{net: n, node: node}
+	node.build = build
+	node.env = e
 	node.handler = build(e)
 	return e
 }
@@ -243,7 +263,7 @@ func (n *Network) send(from *simNode, to transport.Addr, msg any) {
 	if !from.alive {
 		return
 	}
-	size := transport.SizeOf(msg)
+	size := n.sizeOf(from.addr, msg)
 	from.msgsOut.Inc()
 	from.bytesOut.Add(int64(size))
 	if p := n.loss(from.addr, to); p > 0 && n.rng.Float64() < p {
@@ -285,6 +305,17 @@ func (n *Network) send(from *simNode, to transport.Addr, msg any) {
 	})
 }
 
+// sizeOf charges a message's simulated wire cost: the exact frame size
+// under Config.Sizer, the WireSize estimate otherwise.
+func (n *Network) sizeOf(from transport.Addr, msg any) int {
+	if n.cfg.Sizer != nil {
+		if size, err := n.cfg.Sizer(from, msg); err == nil {
+			return size
+		}
+	}
+	return transport.SizeOf(msg)
+}
+
 // SetBandwidth overrides one node's egress/ingress bandwidth (bytes/sec;
 // 0 = unlimited).
 func (n *Network) SetBandwidth(addr transport.Addr, bytesPerSec int64) {
@@ -298,6 +329,17 @@ func (n *Network) schedule(d time.Duration, fn func()) *event {
 	ev := &event{at: n.now + d, seq: n.seq, fn: fn}
 	heap.Push(&n.queue, ev)
 	return ev
+}
+
+// ScheduleAfter runs fn on the event loop after d, independent of any
+// node's liveness (driver-level orchestration: churn scripts, restart
+// sequencing). Returns a cancel function.
+func (n *Network) ScheduleAfter(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	ev := n.schedule(d, fn)
+	return func() { ev.fn = nil }
 }
 
 // Step executes the next pending event. It reports false when the queue is
@@ -380,6 +422,30 @@ func (n *Network) Revive(addr transport.Addr) {
 	if node, ok := n.nodes[addr]; ok {
 		node.alive = true
 	}
+}
+
+// Restart reboots a node from scratch: unlike Revive (which brings the
+// same process back with its memory intact), Restart models a crash and a
+// fresh process start — the protocol stack is rebuilt by the node's
+// original build function, every timer armed by the previous incarnation
+// is dead, and the node's rng is reseeded per generation so the rebooted
+// stack draws a fresh-but-deterministic stream. In-memory state survives
+// only through whatever durable store the build function wires in, which
+// is exactly what crash-recovery experiments exercise. Returns the new
+// handler (nil if the address is unknown).
+func (n *Network) Restart(addr transport.Addr) transport.Handler {
+	node, ok := n.nodes[addr]
+	if !ok {
+		return nil
+	}
+	node.gen++
+	node.alive = true
+	node.rng = rand.New(rand.NewSource(n.cfg.Seed ^ int64(hashAddr(addr)) ^ int64(node.gen<<32)))
+	// A fresh process has empty NIC queues.
+	node.egressFree = 0
+	node.ingressFree = 0
+	node.handler = node.build(node.env)
+	return node.handler
 }
 
 // Alive reports whether the node exists and is up.

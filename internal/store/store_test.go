@@ -1,0 +1,265 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"totoro/internal/wire/codec"
+)
+
+// Test-local record types, registered like real engine records: a codec
+// tag in the app range plus a RegisterRecords declaration.
+type testRec struct {
+	Seq  int
+	Name string
+}
+
+type testState struct {
+	Vals []float64
+	Note string
+}
+
+func init() {
+	codec.RegisterCodec(240, testRec{},
+		func(e *codec.Enc, v any) {
+			r := v.(testRec)
+			e.Int(r.Seq)
+			e.String(r.Name)
+		},
+		func(d *codec.Dec) any { return testRec{Seq: d.Int(), Name: d.String()} })
+	codec.RegisterCodec(241, testState{},
+		func(e *codec.Enc, v any) {
+			s := v.(testState)
+			e.Float64s(s.Vals)
+			e.String(s.Note)
+		},
+		func(d *codec.Dec) any { return testState{Vals: d.Float64s(), Note: d.String()} })
+	RegisterRecords(testRec{}, testState{})
+}
+
+func recN(n int) []any {
+	out := make([]any, n)
+	for i := range out {
+		out[i] = testRec{Seq: i + 1, Name: "rec"}
+	}
+	return out
+}
+
+func appendAll(t *testing.T, s Store, recs []any) {
+	t.Helper()
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	m := NewMem()
+	want := recN(5)
+	appendAll(t, m, want)
+	state, recs, err := m.Load()
+	if err != nil || state != nil {
+		t.Fatalf("Load = state %v, err %v", state, err)
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("recs = %v, want %v", recs, want)
+	}
+}
+
+func TestMemSnapshotTruncates(t *testing.T) {
+	m := NewMem()
+	appendAll(t, m, recN(3))
+	if err := m.Snapshot(testState{Vals: []float64{1, 2}, Note: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if log, snap := m.Bytes(); log != 0 || snap == 0 {
+		t.Fatalf("after snapshot: log %d, snap %d", log, snap)
+	}
+	late := []any{testRec{Seq: 9, Name: "late"}}
+	appendAll(t, m, late)
+	state, recs, err := m.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(state, testState{Vals: []float64{1, 2}, Note: "s"}) {
+		t.Fatalf("state = %v", state)
+	}
+	if !reflect.DeepEqual(recs, late) {
+		t.Fatalf("recs = %v, want %v", recs, late)
+	}
+}
+
+// TestSnapshotCrashWindow reproduces the one crash ordering the
+// snapshot/truncate pair cannot make atomic: the snapshot is durable but
+// the WAL was never truncated. Replay must skip the records the snapshot
+// already folded (LSN guard) and apply only the later ones.
+func TestSnapshotCrashWindow(t *testing.T) {
+	// Full journal of 5 records, as the un-truncated WAL would hold.
+	full := NewMem()
+	appendAll(t, full, recN(5))
+
+	// Store that snapshotted after record 3, then appended 4 and 5.
+	m := NewMem()
+	appendAll(t, m, recN(3))
+	if err := m.Snapshot(testState{Note: "at-3"}); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, m, recN(5)[3:])
+
+	// Crash window: the WAL still holds all five records.
+	m.log = append([]byte(nil), full.log...)
+
+	state, recs, err := m.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(state, testState{Note: "at-3"}) {
+		t.Fatalf("state = %v", state)
+	}
+	if !reflect.DeepEqual(recs, recN(5)[3:]) {
+		t.Fatalf("recs = %v, want records 4..5 only", recs)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(dir, FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := recN(4)
+	appendAll(t, f, want)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err = Open(dir, FileConfig{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	state, recs, err := f.Load()
+	if err != nil || state != nil {
+		t.Fatalf("Load = state %v, err %v", state, err)
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("recs = %v, want %v", recs, want)
+	}
+	// The LSN continues across reopen: snapshot now must cover 4 records.
+	if err := f.Snapshot(testState{Note: "cover"}); err != nil {
+		t.Fatal(err)
+	}
+	state, recs, err = f.Load()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("after snapshot: %d recs, err %v", len(recs), err)
+	}
+	if !reflect.DeepEqual(state, testState{Note: "cover"}) {
+		t.Fatalf("state = %v", state)
+	}
+}
+
+func TestFileTornTail(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(dir, FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, f, recN(3))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err = Open(dir, FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, recs, err := f.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, recN(2)) {
+		t.Fatalf("recs = %v, want first 2", recs)
+	}
+	// The torn record's LSN was lost with it; the next append reuses it,
+	// which is correct — the lost record never took effect.
+	if err := f.Append(testRec{Seq: 3, Name: "rec"}); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = f.Load()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("after re-append: %d recs, err %v", len(recs), err)
+	}
+}
+
+func TestFileCorruptSnapshotSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(dir, FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, f, recN(2))
+	f.Close()
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.dat"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err = Open(dir, FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	state, recs, err := f.Load()
+	if err == nil {
+		t.Fatal("corrupt snapshot not surfaced")
+	}
+	if state != nil {
+		t.Fatalf("state = %v, want nil", state)
+	}
+	if !reflect.DeepEqual(recs, recN(2)) {
+		t.Fatalf("WAL-only replay lost records: %v", recs)
+	}
+}
+
+func TestUnregisteredRecordRefused(t *testing.T) {
+	type rogue struct{ X int }
+	m := NewMem()
+	if err := m.Append(rogue{1}); err == nil {
+		t.Fatal("unregistered record accepted")
+	}
+	if err := m.Snapshot(rogue{1}); err == nil {
+		t.Fatal("unregistered snapshot accepted")
+	}
+}
+
+func TestMemFileParity(t *testing.T) {
+	// The two implementations must produce byte-identical journals: the
+	// simulator's recovery then exercises exactly what a real node writes.
+	m := NewMem()
+	appendAll(t, m, recN(3))
+
+	dir := t.TempDir()
+	f, err := Open(dir, FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, f, recN(3))
+	f.Close()
+	raw, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(m.log) {
+		t.Fatalf("file journal (%d bytes) differs from memory journal (%d bytes)", len(raw), len(m.log))
+	}
+}

@@ -28,6 +28,25 @@ func EncodeFrame(e *Enc, from transport.Addr, msg any) error {
 	return e.Err()
 }
 
+// FrameSize returns the exact on-stream cost of sending msg from the given
+// address over the v2 transport: the frame body (EncodeFrame) plus its
+// uvarint length prefix. It encodes into a pooled buffer and discards the
+// bytes, so simulators can charge exactly what tcpnet would transmit. An
+// error means the message has no codec and resists the gob fallback.
+func FrameSize(from transport.Addr, msg any) (int, error) {
+	e := NewEnc()
+	defer e.Free()
+	if err := EncodeFrame(e, from, msg); err != nil {
+		return 0, err
+	}
+	n := e.Len()
+	prefix := 1
+	for x := uint64(n); x >= 0x80; x >>= 7 {
+		prefix++
+	}
+	return prefix + n, nil
+}
+
 var decPool = sync.Pool{New: func() any { return new(Dec) }}
 
 // DecodeFrame decodes one frame body produced by EncodeFrame. The decoded

@@ -198,10 +198,11 @@ func init() {
 			e.ID(m.Topic)
 			e.Contact(m.Parent)
 			e.treeConfig(m.Cfg)
+			e.Uvarint(m.Epoch)
 			e.Uvarint(m.LastSeq)
 		},
 		func(d *Dec) any {
-			return pubsub.Welcome{Topic: d.ID(), Parent: d.Contact(), Cfg: d.treeConfig(), LastSeq: d.Uvarint()}
+			return pubsub.Welcome{Topic: d.ID(), Parent: d.Contact(), Cfg: d.treeConfig(), Epoch: d.Uvarint(), LastSeq: d.Uvarint()}
 		})
 	register(tagPSCreate, pubsub.CreateMsg{},
 		func(e *Enc, v any) {
@@ -224,12 +225,13 @@ func init() {
 		func(e *Enc, v any) {
 			m := v.(pubsub.Multicast)
 			e.ID(m.Topic)
+			e.Uvarint(m.Epoch)
 			e.Uvarint(m.Seq)
 			e.Int(m.Depth)
 			e.Value(m.Object)
 		},
 		func(d *Dec) any {
-			return pubsub.Multicast{Topic: d.ID(), Seq: d.Uvarint(), Depth: d.Int(), Object: d.Value()}
+			return pubsub.Multicast{Topic: d.ID(), Epoch: d.Uvarint(), Seq: d.Uvarint(), Depth: d.Int(), Object: d.Value()}
 		})
 	register(tagPSUpstream, pubsub.Upstream{},
 		func(e *Enc, v any) {
@@ -248,10 +250,11 @@ func init() {
 			m := v.(pubsub.KeepAlive)
 			e.ID(m.Topic)
 			e.Contact(m.Parent)
+			e.Uvarint(m.Epoch)
 			e.Uvarint(m.LastSeq)
 		},
 		func(d *Dec) any {
-			return pubsub.KeepAlive{Topic: d.ID(), Parent: d.Contact(), LastSeq: d.Uvarint()}
+			return pubsub.KeepAlive{Topic: d.ID(), Parent: d.Contact(), Epoch: d.Uvarint(), LastSeq: d.Uvarint()}
 		})
 	register(tagPSMcNack, pubsub.McNack{},
 		func(e *Enc, v any) {
@@ -340,12 +343,14 @@ func init() {
 		})
 }
 
-// treeConfig encodes pubsub.TreeConfig (fanout + aggregation deadline).
+// treeConfig encodes pubsub.TreeConfig (fanout + aggregation deadline +
+// root generation of the multicast stream).
 func (e *Enc) treeConfig(c pubsub.TreeConfig) {
 	e.Int(c.MaxFanout)
 	e.Varint(int64(c.AggTimeout))
+	e.Uvarint(c.Epoch)
 }
 
 func (d *Dec) treeConfig() pubsub.TreeConfig {
-	return pubsub.TreeConfig{MaxFanout: d.Int(), AggTimeout: time.Duration(d.Varint())}
+	return pubsub.TreeConfig{MaxFanout: d.Int(), AggTimeout: time.Duration(d.Varint()), Epoch: d.Uvarint()}
 }

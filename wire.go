@@ -26,6 +26,13 @@ func RegisterWire() {
 		gob.Register(roundStart{})
 		gob.Register(updateAgg{})
 		gob.Register(replicaMsg{})
+		gob.Register(walIdentity{})
+		gob.Register(walSub{})
+		gob.Register(walUnsub{})
+		gob.Register(walRound{})
+		gob.Register(walMaster{})
+		gob.Register(walReplica{})
+		gob.Register(walSnapshot{})
 		registerCodecs()
 	})
 }

@@ -76,45 +76,53 @@ func registerCodecs() {
 			return m
 		})
 	codec.RegisterCodec(tagReplica, replicaMsg{},
-		func(e *codec.Enc, v any) {
-			m := v.(replicaMsg)
-			encAppSpec(e, m.Spec)
-			e.Contact(m.Master)
-			e.Int(m.Epoch)
-			e.Int(m.Round)
-			e.Float64s(m.Global)
-			e.Uvarint(uint64(len(m.Points)))
-			for _, p := range m.Points {
-				e.Varint(int64(p.Time))
-				e.Int(p.Round)
-				e.Float64(p.Accuracy)
-				e.Int(p.Participants)
+		func(e *codec.Enc, v any) { encReplica(e, v.(replicaMsg)) },
+		func(d *codec.Dec) any { return decReplica(d) })
+	registerWalCodecs()
+}
+
+// encReplica/decReplica serialize a full mastership image. Shared between
+// the tagReplica network message and the durable WAL records
+// (walMaster/walReplica/walSnapshot in durable.go), so a journaled image
+// costs exactly what the replicated one does on the wire.
+func encReplica(e *codec.Enc, m replicaMsg) {
+	encAppSpec(e, m.Spec)
+	e.Contact(m.Master)
+	e.Int(m.Epoch)
+	e.Int(m.Round)
+	e.Float64s(m.Global)
+	e.Uvarint(uint64(len(m.Points)))
+	for _, p := range m.Points {
+		e.Varint(int64(p.Time))
+		e.Int(p.Round)
+		e.Float64(p.Accuracy)
+		e.Int(p.Participants)
+	}
+	e.Bool(m.Started)
+	e.Bool(m.Done)
+	e.Bool(m.Reached)
+	e.Varint(int64(m.DoneAt))
+}
+
+func decReplica(d *codec.Dec) replicaMsg {
+	m := replicaMsg{
+		Spec: decAppSpec(d), Master: d.Contact(), Epoch: d.Int(), Round: d.Int(),
+		Global: d.Float64s(),
+	}
+	if n := d.SliceLen(12); n > 0 {
+		m.Points = make([]workload.AccuracyPoint, n)
+		for i := range m.Points {
+			m.Points[i] = workload.AccuracyPoint{
+				Time: time.Duration(d.Varint()), Round: d.Int(),
+				Accuracy: d.Float64(), Participants: d.Int(),
 			}
-			e.Bool(m.Started)
-			e.Bool(m.Done)
-			e.Bool(m.Reached)
-			e.Varint(int64(m.DoneAt))
-		},
-		func(d *codec.Dec) any {
-			m := replicaMsg{
-				Spec: decAppSpec(d), Master: d.Contact(), Epoch: d.Int(), Round: d.Int(),
-				Global: d.Float64s(),
-			}
-			if n := d.SliceLen(12); n > 0 {
-				m.Points = make([]workload.AccuracyPoint, n)
-				for i := range m.Points {
-					m.Points[i] = workload.AccuracyPoint{
-						Time: time.Duration(d.Varint()), Round: d.Int(),
-						Accuracy: d.Float64(), Participants: d.Int(),
-					}
-				}
-			}
-			m.Started = d.Bool()
-			m.Done = d.Bool()
-			m.Reached = d.Bool()
-			m.DoneAt = time.Duration(d.Varint())
-			return m
-		})
+		}
+	}
+	m.Started = d.Bool()
+	m.Done = d.Bool()
+	m.Reached = d.Bool()
+	m.DoneAt = time.Duration(d.Varint())
+	return m
 }
 
 func encAppSpec(e *codec.Enc, s AppSpec) {
