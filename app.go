@@ -70,6 +70,13 @@ type AppSpec struct {
 	// instead of stalling it (§2.2.1's communication-protocol
 	// customization). Zero keeps rounds fully synchronous.
 	RoundDeadline time.Duration
+	// MinParticipants is the round commit quorum: a deadline-flushed round
+	// that merged fewer client updates than this is held open (bounded, see
+	// engine round holds) so late partials — stragglers, workers back from
+	// a healed partition — commit the round for real instead of the model
+	// taking a nearly-empty step during a fault window. Zero or one commits
+	// whatever a flush delivers.
+	MinParticipants int
 	// Seed roots every worker's deterministic per-round training rng (see
 	// package doc: derived as (Seed, round, node address)).
 	Seed int64
@@ -91,17 +98,18 @@ func SpecFromWorkload(id AppID, app *workload.App) AppSpec {
 		comp = "delta-int8"
 	}
 	return AppSpec{
-		ID:             id,
-		Name:           app.Name,
-		Sizes:          app.Proto.Sizes,
-		InitParams:     app.Proto.Params(),
-		Cfg:            app.Cfg,
-		Participation:  app.Participation,
-		TargetAccuracy: app.TargetAccuracy,
-		MaxRounds:      app.MaxRounds,
-		Compressor:     comp,
-		TopK:           topk,
-		Seed:           app.Seed,
+		ID:              id,
+		Name:            app.Name,
+		Sizes:           app.Proto.Sizes,
+		InitParams:      app.Proto.Params(),
+		Cfg:             app.Cfg,
+		Participation:   app.Participation,
+		TargetAccuracy:  app.TargetAccuracy,
+		MaxRounds:       app.MaxRounds,
+		Compressor:      comp,
+		TopK:            topk,
+		MinParticipants: app.MinParticipants,
+		Seed:            app.Seed,
 	}
 }
 

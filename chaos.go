@@ -1,0 +1,280 @@
+package totoro
+
+import (
+	"fmt"
+	"time"
+
+	"totoro/internal/store"
+	"totoro/internal/transport"
+)
+
+// Chaos is the always-on invariant checker of the chaos harness: it
+// couples a Cluster to simnet's fault layer, asserting the engine's
+// safety contract after every virtual-time step (the network runs
+// registered invariants whenever the clock advances, and once more at
+// quiesce via CheckInvariants). A violation fails the run through
+// simnet's violation machinery, which captures the seed and the tail of
+// the merged trace ring for deterministic replay.
+//
+// The checks are scoped to what the protocol actually promises. Totoro
+// has no consensus layer, so two masters for one app is legal *during* a
+// partition; the invariant is that they reconcile by epoch — promptly,
+// once they can talk — and that the loser's divergent state is
+// discarded, never merged. Checks that would fire on legal transients
+// are therefore reachability-scoped and grace-bounded, while the
+// per-lineage checks (epoch monotonicity, committed-round progress,
+// participant accounting, replica staleness) are exact.
+//
+// Install it after Deploy and before training or fault injection:
+//
+//	chaos := cluster.StartChaos(ChaosConfig{})
+//	... StartNemesis / Train ...
+//	cluster.Net.CheckInvariants() // quiesce check
+type Chaos struct {
+	c   *Cluster
+	cfg ChaosConfig
+
+	// epochs records, per live engine object and app, the highest
+	// mastership epoch that engine has held or witnessed (master or
+	// replica role). Keyed by engine pointer: a crash-restart rebuilds
+	// the engine, and its recovered view legitimately restarts from
+	// whatever its journal's clean prefix holds.
+	epochs map[*Engine]map[AppID]int
+	// lastCommit tracks the last committed round per master lineage
+	// (committer address + app + epoch): commits must strictly advance.
+	lastCommit map[commitKey]int
+	// maxAcked is the highest round any master acknowledged (journaled
+	// and replicated) per (app, epoch); no replica may hold more.
+	maxAcked map[appEpoch]int
+	// eligible is the number of deployed workers per app; no commit may
+	// merge more participants than that.
+	eligible map[AppID]int
+	// dualSince records when two mutually-reachable live masters for an
+	// app were first observed (cleared when the condition clears).
+	dualSince map[AppID]time.Duration
+	pending   error
+
+	// Commits counts observed round commits (test instrumentation).
+	Commits int
+}
+
+type appEpoch struct {
+	app   AppID
+	epoch int
+}
+
+type commitKey struct {
+	by    transport.Addr
+	app   AppID
+	epoch int
+}
+
+// ChaosConfig parameterizes the checker.
+type ChaosConfig struct {
+	// DualMasterGrace bounds how long two live, mutually-reachable
+	// masters for one app may coexist before the checker declares the
+	// split-brain unreconciled (0 = 3s). The window covers ring
+	// maintenance re-merging leaf sets after a heal plus one replication
+	// round-trip — the path by which the losing master learns it lost.
+	DualMasterGrace time.Duration
+}
+
+// StartChaos installs the invariant checker over the cluster: hooks on
+// every engine (re-installed on crash-restart rebuilds) and a check
+// function registered with the network's step loop.
+func (c *Cluster) StartChaos(cfg ChaosConfig) *Chaos {
+	if cfg.DualMasterGrace <= 0 {
+		cfg.DualMasterGrace = 3 * time.Second
+	}
+	ch := &Chaos{
+		c:          c,
+		cfg:        cfg,
+		epochs:     make(map[*Engine]map[AppID]int),
+		lastCommit: make(map[commitKey]int),
+		maxAcked:   make(map[appEpoch]int),
+		eligible:   make(map[AppID]int),
+		dualSince:  make(map[AppID]time.Duration),
+	}
+	for i := range c.shards {
+		for _, app := range sortedApps(c.shards[i]) {
+			ch.eligible[app]++
+		}
+	}
+	for i, e := range c.Engines {
+		ch.install(i, e)
+	}
+	c.onBuild = ch.install
+	c.Net.AddInvariant(ch.check)
+	return ch
+}
+
+// install wires one engine (initial or rebuilt after Restart) into the
+// checker.
+func (ch *Chaos) install(_ int, e *Engine) {
+	e.AckHook = func(app AppID, epoch, round, participants int, commit bool) {
+		ch.observe(e, app, epoch, round, participants, commit)
+	}
+}
+
+// DiskFault adapts the cluster's faulty stores to a nemesis schedule's
+// disk phases: pass the result as NemesisConfig.OnDisk. Requires
+// ClusterConfig.FaultyStores.
+func (ch *Chaos) DiskFault(kind store.FaultKind) func(addr transport.Addr, active bool) {
+	return func(addr transport.Addr, active bool) {
+		i := ch.c.EngineIndex(addr)
+		if i < 0 || ch.c.faulty[i] == nil {
+			return
+		}
+		if active {
+			ch.c.faulty[i].Fail(kind)
+		} else {
+			ch.c.faulty[i].Heal()
+		}
+	}
+}
+
+// observe is the synchronous per-ack hook: it runs on the engine's event
+// loop at the exact moment state is acknowledged, so the commit history
+// it builds is free of polling races.
+func (ch *Chaos) observe(e *Engine, app AppID, epoch, round, participants int, commit bool) {
+	key := appEpoch{app, epoch}
+	if round > ch.maxAcked[key] {
+		ch.maxAcked[key] = round
+	}
+	if !commit {
+		return
+	}
+	ch.Commits++
+	addr := e.Self().Addr
+	ck := commitKey{addr, app, epoch}
+	if last, seen := ch.lastCommit[ck]; seen && round <= last {
+		ch.fail(fmt.Errorf("app %s: master %s committed round %d at epoch %d after already committing round %d",
+			app.Short(), addr, round, epoch, last))
+		return
+	}
+	ch.lastCommit[ck] = round
+	if n := ch.eligible[app]; n > 0 && participants > n {
+		ch.fail(fmt.Errorf("app %s: round %d (epoch %d, master %s) merged %d participants but only %d workers are deployed — a client update was double-counted",
+			app.Short(), round, epoch, addr, participants, n))
+	}
+}
+
+func (ch *Chaos) fail(err error) {
+	if ch.pending == nil {
+		ch.pending = err
+	}
+}
+
+// check is the invariant function the network runs on every step that
+// advances virtual time, and at quiesce. Iteration is index- and
+// sort-ordered throughout so a violation (and its message) is
+// deterministic for a given seed.
+func (ch *Chaos) check() error {
+	if ch.pending != nil {
+		return ch.pending
+	}
+	for i := range ch.c.Engines {
+		if err := ch.checkEngine(ch.c.Engines[i]); err != nil {
+			return err
+		}
+	}
+	return ch.checkDualMasters()
+}
+
+// checkEngine asserts per-engine invariants: mastership epochs never
+// regress within one engine incarnation, and no held replica is ahead of
+// what its master ever acknowledged.
+func (ch *Chaos) checkEngine(e *Engine) error {
+	em := ch.epochs[e]
+	if em == nil {
+		em = make(map[AppID]int)
+		ch.epochs[e] = em
+	}
+	for _, app := range sortedApps(e.masters) {
+		if err := ch.noteEpoch(e, em, app, e.masters[app].epoch, "master"); err != nil {
+			return err
+		}
+	}
+	for _, app := range sortedApps(e.replicas) {
+		rep := e.replicas[app]
+		if err := ch.noteEpoch(e, em, app, rep.Epoch, "replica"); err != nil {
+			return err
+		}
+		// A replica's round must have been acked by some lineage at an
+		// epoch ≤ the replica's: promotion inherits the predecessor's
+		// committed round into the successor epoch's image, so the bound
+		// is cumulative across epochs, not per-epoch.
+		if max, acked := ch.ackedThrough(app, rep.Epoch); rep.Round > max || (!acked && rep.Round > 0) {
+			return fmt.Errorf("app %s: %s holds replica round %d at epoch %d but no master lineage through that epoch acked past round %d — replica ahead of master acks",
+				app.Short(), e.Self().Addr, rep.Round, rep.Epoch, max)
+		}
+	}
+	return nil
+}
+
+// ackedThrough returns the highest round any master lineage acked for app
+// at any epoch ≤ through, and whether any such ack exists.
+func (ch *Chaos) ackedThrough(app AppID, through int) (int, bool) {
+	max, acked := 0, false
+	for ep := 0; ep <= through; ep++ {
+		if r, ok := ch.maxAcked[appEpoch{app, ep}]; ok {
+			acked = true
+			if r > max {
+				max = r
+			}
+		}
+	}
+	return max, acked
+}
+
+func (ch *Chaos) noteEpoch(e *Engine, em map[AppID]int, app AppID, epoch int, role string) error {
+	if prev, seen := em[app]; seen && epoch < prev {
+		return fmt.Errorf("app %s: epoch regressed on %s: %s at epoch %d after holding epoch %d",
+			app.Short(), e.Self().Addr, role, epoch, prev)
+	}
+	if epoch > em[app] {
+		em[app] = epoch
+	}
+	return nil
+}
+
+// checkDualMasters asserts the reconciliation invariant: two live,
+// unfinished masters for one app that can talk to each other must
+// resolve by epoch within the grace window. (Split-brain across a
+// partition is legal; lingering split-brain after a heal is the bug this
+// harness exists to catch.)
+func (ch *Chaos) checkDualMasters() error {
+	now := ch.c.Net.Now()
+	for _, app := range sortedApps(ch.c.apps) {
+		var masters []*Engine
+		for i := range ch.c.Engines {
+			e := ch.c.Engines[i]
+			if m, ok := e.masters[app]; ok && !m.done && ch.c.Net.Alive(e.Self().Addr) {
+				masters = append(masters, e)
+			}
+		}
+		var a, b *Engine
+		for x := 0; x < len(masters) && a == nil; x++ {
+			for y := x + 1; y < len(masters); y++ {
+				if ch.c.Net.Reachable(masters[x].Self().Addr, masters[y].Self().Addr) {
+					a, b = masters[x], masters[y]
+					break
+				}
+			}
+		}
+		if a == nil {
+			delete(ch.dualSince, app)
+			continue
+		}
+		since, seen := ch.dualSince[app]
+		if !seen {
+			ch.dualSince[app] = now
+			continue
+		}
+		if now-since > ch.cfg.DualMasterGrace {
+			return fmt.Errorf("app %s: unreconciled split-brain: masters %s (epoch %d) and %s (epoch %d) mutually reachable for %v without resolving",
+				app.Short(), a.Self().Addr, a.masters[app].epoch, b.Self().Addr, b.masters[app].epoch, now-since)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+package totoro
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"totoro/internal/pubsub"
+	"totoro/internal/ring"
+	"totoro/internal/simnet"
+	"totoro/internal/store"
+	"totoro/internal/transport"
+	"totoro/internal/workload"
+)
+
+// chaosCluster is the deployment the chaos harness drives: the full
+// resilient stack (reliable hops, keep-alive repair, partial aggregation,
+// replicated master state) plus durable, fault-injectable stores and an
+// OnViolation handler that records instead of panicking, so tests can
+// assert on Net.Violation().
+func chaosCluster(seed int64, replicas int) *Cluster {
+	return NewCluster(ClusterConfig{
+		N:    60,
+		Seed: seed,
+		Ring: ring.Config{B: 4, ReliableHops: true, HopAckTimeout: 150 * time.Millisecond},
+		PubSub: pubsub.Config{
+			KeepAliveInterval: 100 * time.Millisecond,
+			KeepAliveTimeout:  300 * time.Millisecond,
+			AggTimeout:        2 * time.Second,
+		},
+		Bandwidth:            2 << 20,
+		Replicas:             replicas,
+		ReplicaCheckInterval: 300 * time.Millisecond,
+		FailoverGrace:        500 * time.Millisecond,
+		Durable:              true,
+		FaultyStores:         true,
+		OnViolation:          func(*simnet.InvariantViolation) {},
+	})
+}
+
+// chaosSpec is the composed acceptance schedule: five fault kinds overlap
+// around t=2s — a partition that heals, message drop/dup/reorder rules, a
+// WAL fsync fault window on two nodes, and a two-node kill with
+// crash-restart.
+const chaosSpec = "partition@1s+2s/frac=0.25;drop@500ms+3s/p=0.1;dup@500ms+3s/p=0.25;" +
+	"reorder@1s+2s/p=0.3;disk@1500ms+1500ms/n=2;kill@2s+1500ms/n=2"
+
+// chaosRounds gives every acceptance run the same horizon: all faults
+// heal by t=3.5s, leaving several clean rounds for the fleet to converge
+// back onto the fault-free trajectory before the drift comparison.
+const chaosRounds = 14
+
+type chaosResult struct {
+	points    []workload.AccuracyPoint
+	commits   int
+	violation *simnet.InvariantViolation
+	phases    int
+	restarts  int
+	dupes     int64 // pubsub.upstream_dupes across the fleet
+	snapshot  string
+}
+
+// runChaos trains one app to the given round count on a chaos cluster
+// with the invariant checker installed, under the given nemesis schedule
+// (empty = fault-free baseline), and runs the quiesce check before
+// returning.
+func runChaos(t *testing.T, seed int64, spec string, rounds int) chaosResult {
+	t.Helper()
+	c := chaosCluster(seed, 2)
+	app := testApps(1, seed)[0]
+	app.MaxRounds = rounds
+	app.TargetAccuracy = 0.999 // unreachable: every run does all `rounds` rounds
+	// Commit quorum of half the fleet: rounds flushed mid-fault hold for
+	// the cut-off workers' updates instead of taking a nearly-empty step.
+	app.MinParticipants = len(app.Shards) / 2
+	id := c.DeployOnRandomNodes(app)
+	chaos := c.StartChaos(ChaosConfig{})
+	c.StartMaintenance(500 * time.Millisecond)
+
+	var nem *simnet.Nemesis
+	if spec != "" {
+		phases, err := simnet.ParseSchedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Data holders and the initial master are exempt, as in a real
+		// harness run: chaos measures protocol recovery, not data loss.
+		var exempt []transport.Addr
+		for i := range c.shards {
+			if _, ok := c.shards[i][id]; ok {
+				exempt = append(exempt, c.Engines[i].Self().Addr)
+			}
+		}
+		exempt = append(exempt, c.Master(id).Self().Addr)
+		nem, err = c.Net.StartNemesis(simnet.NemesisConfig{
+			Seed:      seed + 2,
+			Phases:    phases,
+			Exempt:    exempt,
+			OnDisk:    chaos.DiskFault(store.FaultFsync),
+			OnRestart: func(addr transport.Addr, _ time.Duration) { c.Restarted(addr) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prog := c.TrainUntil(c.Net.Now()+10*time.Minute, id)[0]
+	c.Net.CheckInvariants()
+
+	res := chaosResult{
+		points:    prog.Points,
+		commits:   chaos.Commits,
+		violation: c.Net.Violation(),
+		snapshot:  c.Net.MergedSnapshot().String(),
+	}
+	if nem != nil {
+		res.phases, res.restarts = nem.Phases, nem.Restarts
+	}
+	for _, e := range c.Engines {
+		res.dupes += e.Metrics().Counter("pubsub.upstream_dupes").Value()
+	}
+	return res
+}
+
+// TestChaosAcceptance is the harness acceptance test: under the composed
+// schedule — healed partition, drop/dup/reorder link rules, WAL fsync
+// faults, and kill–crash-restart all overlapping — training must complete
+// every round on every seed with zero invariant violations, and the final
+// accuracy must land within 0.02 of the fault-free run of the same seed.
+func TestChaosAcceptance(t *testing.T) {
+	seeds := []int64{229, 233, 239, 241, 251}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		base := runChaos(t, seed, "", chaosRounds)
+		if base.violation != nil {
+			t.Fatalf("seed %d: fault-free run violated an invariant:\n%v", seed, base.violation)
+		}
+		fault := runChaos(t, seed, chaosSpec, chaosRounds)
+		if fault.violation != nil {
+			t.Fatalf("seed %d: %v", seed, fault.violation)
+		}
+		if fault.phases < 5 {
+			t.Fatalf("seed %d: only %d nemesis phases activated", seed, fault.phases)
+		}
+		if fault.commits == 0 {
+			t.Fatalf("seed %d: checker observed no commits", seed)
+		}
+		if len(fault.points) == 0 || fault.points[len(fault.points)-1].Round != chaosRounds {
+			t.Fatalf("seed %d: training did not complete under faults: %+v", seed, fault.points)
+		}
+		baseAcc := base.points[len(base.points)-1].Accuracy
+		faultAcc := fault.points[len(fault.points)-1].Accuracy
+		drift := baseAcc - faultAcc
+		if drift < 0 {
+			drift = -drift
+		}
+		if drift > 0.02 {
+			t.Fatalf("seed %d: post-heal accuracy drifted: fault-free %.4f vs chaos %.4f (|diff| %.4f > 0.02)",
+				seed, baseAcc, faultAcc, drift)
+		}
+	}
+}
+
+// TestChaosRunsAreBitIdentical replays the full chaos scenario — faults,
+// crash-restarts, disk windows and all — twice per seed: trajectories,
+// commit counts, nemesis activity, and the entire merged telemetry
+// snapshot must be bit-identical. This is what makes a violation's seed a
+// real repro handle.
+func TestChaosRunsAreBitIdentical(t *testing.T) {
+	for _, seed := range []int64{263, 269} {
+		a := runChaos(t, seed, chaosSpec, chaosRounds)
+		b := runChaos(t, seed, chaosSpec, chaosRounds)
+		if a.violation != nil || b.violation != nil {
+			t.Fatalf("seed %d: violations %v / %v", seed, a.violation, b.violation)
+		}
+		if a.commits != b.commits || a.phases != b.phases || a.restarts != b.restarts {
+			t.Fatalf("seed %d: run shape diverged: commits %d/%d phases %d/%d restarts %d/%d",
+				seed, a.commits, b.commits, a.phases, b.phases, a.restarts, b.restarts)
+		}
+		if len(a.points) != len(b.points) {
+			t.Fatalf("seed %d: point counts differ: %d vs %d", seed, len(a.points), len(b.points))
+		}
+		for i := range a.points {
+			if a.points[i] != b.points[i] {
+				t.Fatalf("seed %d: round %d diverged: %+v vs %+v", seed, i+1, a.points[i], b.points[i])
+			}
+		}
+		if a.snapshot != b.snapshot {
+			t.Fatalf("seed %d: same-seed telemetry snapshots differ", seed)
+		}
+	}
+}
+
+// TestChaosCatchesInjectedRegression proves the checker actually fires:
+// simulated engine bugs — replaying an already-committed round, and
+// merging more client updates than workers exist — must each produce an
+// InvariantViolation carrying the run's seed and a trace excerpt.
+func TestChaosCatchesInjectedRegression(t *testing.T) {
+	const seed = 271
+	inject := func(t *testing.T, wantMsg string, bug func(m *Engine, id AppID, epoch int)) {
+		t.Helper()
+		c := chaosCluster(seed, 2)
+		app := testApps(1, seed)[0]
+		app.MaxRounds = 3
+		app.TargetAccuracy = 0.999
+		id := c.DeployOnRandomNodes(app)
+		c.StartChaos(ChaosConfig{})
+		c.StartMaintenance(500 * time.Millisecond)
+		c.TrainUntil(c.Net.Now()+10*time.Minute, id)
+		if v := c.Net.Violation(); v != nil {
+			t.Fatalf("clean run violated an invariant: %v", v)
+		}
+		m := c.Master(id)
+		if m == nil {
+			t.Fatal("no master after training")
+		}
+		bug(m, id, m.masters[id].epoch)
+		c.Net.CheckInvariants()
+		v := c.Net.Violation()
+		if v == nil {
+			t.Fatal("injected regression went undetected")
+		}
+		if v.Seed != seed {
+			t.Fatalf("violation seed = %d, want %d", v.Seed, seed)
+		}
+		if !strings.Contains(v.Err.Error(), wantMsg) {
+			t.Fatalf("violation %q does not mention %q", v.Err, wantMsg)
+		}
+		if !strings.Contains(v.Error(), "deterministic replay") {
+			t.Fatalf("violation rendering lacks the replay handle:\n%v", v)
+		}
+	}
+
+	t.Run("replayed-commit", func(t *testing.T) {
+		inject(t, "after already committing", func(m *Engine, id AppID, epoch int) {
+			// A buggy master acks round 1 again after committing round 3.
+			m.AckHook(id, epoch, 1, 1, true)
+		})
+	})
+	t.Run("double-counted-update", func(t *testing.T) {
+		inject(t, "double-counted", func(m *Engine, id AppID, epoch int) {
+			// A buggy merge counts 99 participants against 10 workers.
+			m.AckHook(id, epoch, 11, 99, true)
+		})
+	})
+}
+
+// TestRepeatedKillRestartSameNode crash-restarts the app's original
+// master node three times in one run. Every rebirth must recover from the
+// WAL, re-arm (re-join, reconcile mastership with whoever was promoted in
+// the meantime), and training must still complete all rounds with the
+// invariant checker clean — catching any state that survives one restart
+// but not the second.
+func TestRepeatedKillRestartSameNode(t *testing.T) {
+	const seed = 277
+	c := chaosCluster(seed, 2)
+	app := testApps(1, seed)[0]
+	app.MaxRounds = 10
+	app.TargetAccuracy = 0.999
+	id := c.DeployOnRandomNodes(app)
+	c.StartChaos(ChaosConfig{})
+	c.StartMaintenance(500 * time.Millisecond)
+
+	victim := c.Master(id).Self().Addr
+	victimIdx := c.EngineIndex(victim)
+	original := c.Engines[victimIdx]
+
+	var workerIdx int = -1
+	for i := range c.shards {
+		if _, ok := c.shards[i][id]; ok {
+			workerIdx = i
+			break
+		}
+	}
+	c.Engines[workerIdx].StartTraining(id)
+
+	rounds := func() int {
+		if m := c.Master(id); m != nil {
+			if p, ok := m.Progress(id); ok {
+				return len(p.Points)
+			}
+		}
+		return 0
+	}
+
+	deadline := c.Net.Now() + 10*time.Minute
+	kills := 0
+	var killedAt time.Duration
+	down := false
+	for c.Net.Now() < deadline && !c.allDone([]AppID{id}) {
+		c.Net.Run(c.Net.Now() + 100*time.Millisecond)
+		if down && c.Net.Now() >= killedAt+time.Second {
+			c.Restart(victimIdx)
+			down = false
+		}
+		if !down && kills < 3 && rounds() >= 2*(kills+1) && c.Net.Alive(victim) {
+			c.Net.Fail(victim)
+			killedAt = c.Net.Now()
+			kills++
+			down = true
+		}
+	}
+	if down {
+		c.Restart(victimIdx)
+	}
+
+	if kills != 3 {
+		t.Fatalf("killed the node %d times, want 3", kills)
+	}
+	if v := c.Net.Violation(); v != nil {
+		t.Fatalf("invariant violated across repeated restarts:\n%v", v)
+	}
+	c.Net.CheckInvariants()
+	if v := c.Net.Violation(); v != nil {
+		t.Fatalf("quiesce check failed:\n%v", v)
+	}
+	if c.Engines[victimIdx] == original {
+		t.Fatal("restart did not rebuild the engine")
+	}
+	if !c.Engines[victimIdx].Recovered() {
+		t.Fatal("final rebirth did not recover from the WAL")
+	}
+	recoveries := 0
+	for _, e := range c.Engines {
+		recoveries += int(e.Metrics().Counter("engine.recoveries").Value())
+	}
+	if recoveries < 3 {
+		t.Fatalf("recoveries = %d, want >= 3 (one per rebirth)", recoveries)
+	}
+	prog := c.Progress(id)
+	if prog == nil || len(prog.Points) == 0 {
+		t.Fatal("no progress recorded")
+	}
+	if last := prog.Points[len(prog.Points)-1].Round; last != 10 {
+		t.Fatalf("training ended at round %d, want 10", last)
+	}
+}
+
+// TestStoreFaultDegradesLoudly opens an fsync fault window on the live
+// master's store mid-training and asserts the journal-before-ack
+// hardening: the engine degrades to non-durable with the store.degraded
+// gauge raised, never journals again even after the fault window closes
+// (appending past a gap would turn the clean WAL prefix into
+// ack-then-lose), keeps training, and a later crash-restart recovers the
+// clean pre-fault prefix and retrains to completion — all under the
+// invariant checker.
+func TestStoreFaultDegradesLoudly(t *testing.T) {
+	const seed = 281
+	c := chaosCluster(seed, 0) // no replicas: WAL recovery is the only path
+	app := testApps(1, seed)[0]
+	app.MaxRounds = 10
+	app.TargetAccuracy = 0.999
+	id := c.DeployOnRandomNodes(app)
+	c.StartChaos(ChaosConfig{})
+	c.StartMaintenance(500 * time.Millisecond)
+
+	var workerIdx int = -1
+	for i := range c.shards {
+		if _, ok := c.shards[i][id]; ok {
+			workerIdx = i
+			break
+		}
+	}
+	c.Engines[workerIdx].StartTraining(id)
+
+	runUntilRounds := func(n int) {
+		deadline := c.Net.Now() + 10*time.Minute
+		for c.Net.Now() < deadline {
+			if m := c.Master(id); m != nil {
+				if p, ok := m.Progress(id); ok && len(p.Points) >= n {
+					return
+				}
+			}
+			c.Net.Run(c.Net.Now() + 100*time.Millisecond)
+		}
+		t.Fatalf("never reached %d rounds", n)
+	}
+
+	runUntilRounds(2)
+	m := c.Master(id)
+	masterIdx := c.EngineIndex(m.Self().Addr)
+	faulty := c.FaultyStore(masterIdx)
+	if faulty.Appends == 0 {
+		t.Fatal("master journaled nothing before the fault window")
+	}
+	faulty.Fail(store.FaultFsync)
+
+	runUntilRounds(5)
+	if !m.Degraded() {
+		t.Fatal("master kept a failing journal without degrading")
+	}
+	if got := m.Metrics().Gauge("store.degraded").Value(); got != 1 {
+		t.Fatalf("store.degraded = %v, want 1", got)
+	}
+	if m.Metrics().Counter("store.errors").Value() == 0 {
+		t.Fatal("degrade raised no store.errors")
+	}
+	if faulty.Failed == 0 {
+		t.Fatal("fault window rejected no appends")
+	}
+
+	// Close the window: a hardened engine must NOT resume journaling —
+	// the log may have a gap, and appends past it replay as a clean
+	// prefix that silently drops everything after the gap.
+	appendsAtHeal := faulty.Appends
+	faulty.Heal()
+	runUntilRounds(7)
+	if faulty.Appends != appendsAtHeal {
+		t.Fatalf("degraded engine appended %d records after the fault healed",
+			faulty.Appends-appendsAtHeal)
+	}
+
+	// Crash the degraded master: recovery replays the clean pre-fault
+	// prefix (rounds acked before the fault are never lost) and training
+	// finishes from there.
+	c.Net.Fail(m.Self().Addr)
+	c.Net.Run(c.Net.Now() + time.Second)
+	c.Restart(masterIdx)
+
+	deadline := c.Net.Now() + 10*time.Minute
+	for c.Net.Now() < deadline && !c.allDone([]AppID{id}) {
+		c.Net.Run(c.Net.Now() + 100*time.Millisecond)
+	}
+	c.Net.CheckInvariants()
+	if v := c.Net.Violation(); v != nil {
+		t.Fatalf("invariant violated across degrade + crash-restart:\n%v", v)
+	}
+	reborn := c.Engines[masterIdx]
+	if !reborn.Recovered() {
+		t.Fatal("restarted master did not recover from its clean WAL prefix")
+	}
+	if reborn.Degraded() {
+		t.Fatal("rebirth on a healthy store reports degraded")
+	}
+	prog := c.Progress(id)
+	if prog == nil || len(prog.Points) == 0 {
+		t.Fatal("no progress recorded")
+	}
+	if last := prog.Points[len(prog.Points)-1].Round; last != 10 {
+		t.Fatalf("training ended at round %d, want 10", last)
+	}
+}
+
+// TestDupInjectionIsDeduped runs training under a certain-duplication
+// link rule: every upstream update arrives at least twice. The per-sender
+// sequence dedup must discard the copies — observable in the
+// pubsub.upstream_dupes counter — and the checker's participant
+// accounting (merged participants <= deployed workers) must stay clean.
+func TestDupInjectionIsDeduped(t *testing.T) {
+	const seed = 283
+	c := chaosCluster(seed, 2)
+	app := testApps(1, seed)[0]
+	app.MaxRounds = 6
+	app.TargetAccuracy = 0.999
+	id := c.DeployOnRandomNodes(app)
+	c.StartChaos(ChaosConfig{})
+	c.StartMaintenance(500 * time.Millisecond)
+	heal := c.Net.AddLinkRule(simnet.LinkRule{Dup: 1.0})
+	defer heal()
+
+	prog := c.TrainUntil(c.Net.Now()+10*time.Minute, id)[0]
+	c.Net.CheckInvariants()
+	if v := c.Net.Violation(); v != nil {
+		t.Fatalf("duplicated traffic broke an invariant (double-counted update?):\n%v", v)
+	}
+	if len(prog.Points) == 0 || prog.Points[len(prog.Points)-1].Round != 6 {
+		t.Fatalf("training did not complete under duplication: %+v", prog.Points)
+	}
+	if c.Net.Metrics().Counter("net.dup_injected").Value() == 0 {
+		t.Fatal("dup rule injected nothing")
+	}
+	dupes := int64(0)
+	for _, e := range c.Engines {
+		dupes += e.Metrics().Counter("pubsub.upstream_dupes").Value()
+	}
+	if dupes == 0 {
+		t.Fatal("no duplicate upstream updates were caught by the seq dedup")
+	}
+}

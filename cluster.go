@@ -60,9 +60,16 @@ type ClusterConfig struct {
 	// snapshot cadence (see Options.SnapshotEvery).
 	Durable       bool
 	SnapshotEvery int
+	// FaultyStores wraps every engine's durable store in a fault-injecting
+	// wrapper (store.Faulty) so a nemesis schedule can fail disks mid-run;
+	// requires Durable. Access the wrappers via FaultyStore.
+	FaultyStores bool
 	// ExactSizes routes simulated message-size accounting through the v2
 	// wire codec (see simnet.Config.ExactSizes).
 	ExactSizes bool
+	// OnViolation handles invariant violations found by the chaos checker
+	// (see simnet.Config.OnViolation; nil panics with the violation).
+	OnViolation func(*simnet.InvariantViolation)
 }
 
 // Cluster is a whole simulated Totoro deployment: N engines on a
@@ -82,7 +89,12 @@ type Cluster struct {
 	// a crash-restarted engine can be handed its data back (the store
 	// journals the subscription, the driver owns the bytes).
 	stores []store.Store
+	faulty []*store.Faulty
 	shards []map[AppID]*ml.Dataset
+	// onBuild, when set, runs on every engine built after cluster
+	// construction (i.e. crash-restart rebuilds) so per-engine hooks — the
+	// chaos checker's AckHook in particular — survive a Restart.
+	onBuild func(idx int, e *Engine)
 	// maintainEvery remembers the StartMaintenance interval so a
 	// crash-restarted engine's rebuilt ring node gets its probe loop back.
 	maintainEvery time.Duration
@@ -117,6 +129,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		Seed:             cfg.Seed,
 		Latency:          lat,
 		DefaultBandwidth: cfg.Bandwidth,
+		OnViolation:      cfg.OnViolation,
 	}
 	if cfg.ExactSizes {
 		RegisterWire() // exact accounting encodes through the codec registry
@@ -153,8 +166,13 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			// this closure, and the rebooted engine recovers from the same
 			// store a real node would find on its disk.
 			var st store.Store
+			var fs *store.Faulty
 			if cfg.Durable {
 				st = store.NewMem()
+				if cfg.FaultyStores {
+					fs = store.NewFaulty(st)
+					st = fs
+				}
 			}
 			idx := len(c.Engines)
 			var eng *Engine
@@ -176,6 +194,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 				if idx < len(c.Engines) {
 					c.Engines[idx] = eng // rebuild via Restart: replace the corpse
 				}
+				if c.onBuild != nil {
+					c.onBuild(idx, eng)
+				}
 				return eng
 			})
 			if cfg.Bandwidth > 0 && virtual > 1 {
@@ -184,6 +205,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			c.Engines = append(c.Engines, eng)
 			c.HostOf = append(c.HostOf, host)
 			c.stores = append(c.stores, st)
+			c.faulty = append(c.faulty, fs)
 			c.shards = append(c.shards, make(map[AppID]*ml.Dataset))
 			ringNodes = append(ringNodes, eng.Ring())
 		}
@@ -412,6 +434,20 @@ func (c *Cluster) StartMaintenance(interval time.Duration) {
 	for _, e := range c.Engines {
 		e.Ring().StartMaintenance(interval)
 	}
+}
+
+// FaultyStore returns engine i's fault-injecting store wrapper, or nil
+// when the cluster wasn't built with FaultyStores.
+func (c *Cluster) FaultyStore(i int) *store.Faulty { return c.faulty[i] }
+
+// EngineIndex maps a node address to its engine index (-1 if unknown).
+func (c *Cluster) EngineIndex(addr transport.Addr) int {
+	for i, e := range c.Engines {
+		if e.Self().Addr == addr {
+			return i
+		}
+	}
+	return -1
 }
 
 // Spec returns the registered spec for an app.

@@ -44,6 +44,7 @@ func main() {
 		gobWire   = flag.Bool("gob-wire", false, "send with the legacy gob wire format instead of wire v2 (reads auto-detect either, so mixed fleets interoperate)")
 		dataDir   = flag.String("data-dir", "", "directory for the durable store (WAL + snapshots); the node recovers its identity and roles from it on boot (empty = in-memory only)")
 		walSync   = flag.Bool("wal-sync", false, "fsync the WAL on every append (durable against power loss, at per-record flush latency)")
+		walGroup  = flag.Bool("wal-group-commit", false, "batch concurrent synchronous WAL appends into shared fsyncs (group commit; only meaningful with -wal-sync)")
 	)
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 	// overrides it so the node reclaims its old ring position.
 	var st store.Store
 	if *dataDir != "" {
-		f, err := store.Open(*dataDir, store.FileConfig{Sync: *walSync})
+		f, err := store.Open(*dataDir, store.FileConfig{Sync: *walSync, GroupCommit: *walGroup})
 		if err != nil {
 			log.Fatalf("durable store: %v", err)
 		}

@@ -14,6 +14,15 @@
 // from their write-ahead logs instead of reviving with memory intact:
 //
 //	totoro-sim -churn 2s -churn-down 10s -churn-restart
+//
+// With -nemesis the deployment trains under a composed, seeded fault
+// schedule — partitions that heal, asymmetric link cuts, message
+// drop/duplicate/reorder rules, stragglers, kill–restart, disk faults —
+// while an always-on invariant checker asserts the engine's safety
+// contract after every virtual-time step. A violation aborts the run
+// with the seed for deterministic replay.
+//
+//	totoro-sim -nemesis 'partition@2s+3s/frac=0.3;dup@1s+8s/p=0.2;disk@4s+2s/n=1'
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
 	"totoro/internal/simnet"
+	"totoro/internal/store"
 	"totoro/internal/transport"
 	"totoro/internal/workload"
 )
@@ -44,9 +54,18 @@ func main() {
 		churn     = flag.Duration("churn", 0, "mean time between node failures (0 = no churn)")
 		churnDown = flag.Duration("churn-down", 10*time.Second, "downtime before a failed node revives")
 		restart   = flag.Bool("churn-restart", false, "downed nodes crash-restart from their write-ahead log instead of reviving with memory intact (implies durable stores)")
+		nemesis   = flag.String("nemesis", "", "composed fault schedule: 'kind@start+dur[/k=v,...][;...]' with kinds partition, oneway, isolate, drop, dup, reorder, delay, slow, kill, disk (implies the resilient stack, durable stores, and always-on invariant checking)")
 		metrics   = flag.Bool("metrics", false, "print the merged fleet telemetry snapshot after the run")
 	)
 	flag.Parse()
+
+	var phases []simnet.Phase
+	if *nemesis != "" {
+		var err error
+		if phases, err = simnet.ParseSchedule(*nemesis); err != nil {
+			log.Fatalf("-nemesis: %v", err)
+		}
+	}
 
 	var b int
 	switch *fanout {
@@ -75,10 +94,11 @@ func main() {
 		Ring:      ring.Config{B: b},
 		Bandwidth: 2 << 20,
 	}
-	if *churn > 0 {
-		// Churn demands the resilient stack: per-hop acks with rerouting,
-		// keep-alive repair of broken tree edges, partial-aggregation
-		// deadlines, and replicated master state for failover.
+	if *churn > 0 || len(phases) > 0 {
+		// Churn and nemesis schedules demand the resilient stack: per-hop
+		// acks with rerouting, keep-alive repair of broken tree edges,
+		// partial-aggregation deadlines, and replicated master state for
+		// failover.
 		cfg.Ring.ReliableHops = true
 		cfg.Ring.HopAckTimeout = 150 * time.Millisecond
 		cfg.PubSub = pubsub.Config{
@@ -98,6 +118,16 @@ func main() {
 		// reboots from it. Replication stays on — failover covers the
 		// downtime, the WAL covers the reboot.
 		cfg.Durable = true
+	}
+	if len(phases) > 0 {
+		// Nemesis kill phases crash-restart their victims, and disk phases
+		// need fault-injecting stores to land on.
+		cfg.Durable = true
+		cfg.FaultyStores = true
+		cfg.OnViolation = func(v *simnet.InvariantViolation) {
+			fmt.Println()
+			log.Fatalf("INVARIANT VIOLATION\n%v", v)
+		}
 	}
 	cluster := totoro.NewCluster(cfg)
 	ws := workload.MakeApps(workload.Params{
@@ -129,9 +159,40 @@ func main() {
 		fmt.Printf("  %-12s master=%s appId=%s…\n", ws[i].Name, m.Self().Addr, id.Short())
 	}
 
+	if *churn > 0 || len(phases) > 0 {
+		cluster.StartMaintenance(500 * time.Millisecond)
+	}
+
+	var chaos *totoro.Chaos
+	var nem *simnet.Nemesis
+	if len(phases) > 0 {
+		chaos = cluster.StartChaos(totoro.ChaosConfig{})
+		var err error
+		nem, err = cluster.Net.StartNemesis(simnet.NemesisConfig{
+			Seed:   *seed + 2,
+			Phases: phases,
+			Exempt: exempt,
+			OnDisk: chaos.DiskFault(store.FaultFsync),
+			OnRestart: func(addr transport.Addr, now time.Duration) {
+				cluster.Restarted(addr)
+			},
+			OnPhase: func(ph simnet.Phase, active bool, victims []transport.Addr) {
+				state := "heal"
+				if active {
+					state = "inject"
+				}
+				fmt.Printf("  nemesis %-6s t=%-6s %s victims=%v\n",
+					state, cluster.Net.Now(), ph.String(), victims)
+			},
+		})
+		if err != nil {
+			log.Fatalf("-nemesis: %v", err)
+		}
+		fmt.Printf("nemesis: %d phases, invariant checking on (workers and masters exempt from kills)\n", len(phases))
+	}
+
 	var faults *simnet.Churn
 	if *churn > 0 {
-		cluster.StartMaintenance(500 * time.Millisecond)
 		faults = cluster.Net.StartChurn(simnet.ChurnConfig{
 			Seed:      *seed + 1,
 			FailEvery: *churn,
@@ -168,6 +229,21 @@ func main() {
 		fmt.Printf("\nchurn: %d failures injected, %d revived, %d restarted (%d WAL recoveries), %d still down; %d tree repairs\n",
 			faults.Fails, faults.Revives, faults.Restarts, recoveries, faults.Down(), repairs)
 	}
+	if nem != nil {
+		// Quiesce check: one last pass over every invariant now that the
+		// schedule has drained (violations mid-run already aborted).
+		cluster.Net.CheckInvariants()
+		dropsByCause := func(name string) int64 {
+			return cluster.Net.Metrics().Counter(name).Value()
+		}
+		fmt.Printf("\nnemesis: %d phases ran (%d kills, %d restarts); drops: %d partition, %d fault-rule, %d dead; %d dups, %d reorders injected\n",
+			nem.Phases, nem.Kills, nem.Restarts,
+			dropsByCause("net.dropped_partition"), dropsByCause("net.dropped_fault"), dropsByCause("net.dropped_dead"),
+			dropsByCause("net.dup_injected"), dropsByCause("net.reorder_injected"))
+		fmt.Printf("invariants: ok — %d round commits checked, zero violations (seed %d replays this run bit-identically)\n",
+			chaos.Commits, *seed)
+	}
+
 	var worst float64
 	for _, p := range progress {
 		if s := p.Done.Seconds(); s > worst {

@@ -263,15 +263,26 @@ func (ds *durableState) apply(rec any) {
 // --- engine integration ---
 
 // journal appends one record to the durable store, folding the WAL into
-// a snapshot every SnapshotEvery appends. Storage failure is counted and
-// tolerated: the engine keeps serving from memory (durability degrades,
-// availability does not).
+// a snapshot every SnapshotEvery appends.
+//
+// The first append failure permanently degrades the engine to
+// non-durable: it keeps serving from memory (availability over
+// durability) but never journals again, raising the store.degraded
+// gauge and firing Options.OnStoreFailure. Degrading — rather than
+// retrying once the disk looks healthy again — is a safety rule: records
+// lost inside a fault window would leave a gap, and a journal that
+// resumes past a gap replays as a clean prefix after the next crash,
+// silently dropping everything after the gap. That is ack-then-lose,
+// the one failure mode the journal-before-ack contract exists to
+// prevent. A deployment that prefers crash-stop installs an
+// OnStoreFailure hook that halts the node.
 func (e *Engine) journal(rec any) {
-	if e.store == nil {
+	if e.store == nil || e.degraded {
 		return
 	}
 	if err := e.store.Append(rec); err != nil {
 		e.ctrStoreErrors.Inc()
+		e.degrade(err)
 		return
 	}
 	e.ctrStoreAppends.Inc()
@@ -287,9 +298,26 @@ func (e *Engine) journal(rec any) {
 	}
 }
 
+// degrade drops durability for the rest of this engine's life (see
+// journal for why the drop is permanent).
+func (e *Engine) degrade(err error) {
+	e.degraded = true
+	e.gaugeDegraded.Set(1)
+	if e.opts.OnStoreFailure != nil {
+		e.opts.OnStoreFailure(err)
+	}
+}
+
+// Degraded reports whether this engine has dropped to non-durable after
+// a journal failure.
+func (e *Engine) Degraded() bool { return e.degraded }
+
 func (e *Engine) snapshotDurable() {
 	e.walAppends = 0
 	if err := e.store.Snapshot(e.buildSnapshot()); err != nil {
+		// A failed snapshot is tolerable without degrading: the WAL is only
+		// truncated after a snapshot lands, so the journal stays a clean
+		// prefix and the next cadence retries.
 		e.ctrStoreErrors.Inc()
 		return
 	}

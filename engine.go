@@ -62,6 +62,11 @@ type Options struct {
 	// SnapshotEvery is how many WAL appends accumulate before the journal
 	// is folded into a snapshot and truncated (0 = 64).
 	SnapshotEvery int
+	// OnStoreFailure fires once, when the first journal append fails and
+	// the engine permanently degrades to non-durable (see durable.go).
+	// Deployments that prefer crash-stop over degraded service halt the
+	// node here. Nil just degrades loudly (store.degraded gauge).
+	OnStoreFailure func(err error)
 }
 
 // Callbacks are the user-facing upcalls of Table 2 for custom
@@ -100,12 +105,47 @@ type masterState struct {
 	// mid-round record the previous round as the last completed one, so a
 	// recovered master re-runs the interrupted round (durable.go).
 	inFlight bool
+	// holds counts how many times the current round's commit has been
+	// deferred for lacking quorum (max(1, spec.MinParticipants) merged
+	// client updates). A master whose tree is empty — typically a failover
+	// promotion on the wrong side of a partition — would otherwise race
+	// through every round vacuously and mark the app done on an untrained
+	// model; with a configured quorum the same mechanism keeps the model
+	// from taking a nearly-empty step while a fault window cuts workers
+	// off. Transient: never journaled or replicated.
+	holds int
+	// pending accumulates the held round's aggregate across flushes: a
+	// held round's tree keeps forwarding disjoint supplementary partials
+	// (stragglers, workers back from a healed partition), one flush each,
+	// and the eventual commit folds them all. Transient, like holds.
+	pending updateAgg
+	// retriedRound marks the one round number already re-announced under a
+	// bumped epoch (see retryRound); a round is retried at most once so
+	// liveness stays bounded. Transient, like holds.
+	retriedRound int
 }
+
+// maxRoundHolds bounds how many times a below-quorum round is held open
+// (one round deadline per hold) before the master commits whatever it
+// merged. The bound preserves liveness when a participation-sampled round
+// legitimately selects nobody or the fleet has genuinely shrunk; the
+// holds give tree repair, stale stragglers, and failover reconciliation
+// time to either deliver real updates or demote a vacuous master.
+const maxRoundHolds = 3
 
 type workerState struct {
 	shard      *ml.Dataset
 	proto      *ml.MLP
 	restricted bool
+	// gen counts roundStart announcements handled for this app. A training
+	// job captures the generation it was started under and submits only if
+	// no newer announcement superseded it meanwhile — otherwise a round
+	// re-announced while the old instance's job is still in the compute
+	// queue (master failover re-running the interrupted round, or a quorum
+	// retry) would make this worker submit twice into the new aggregation
+	// instance. Training is deterministic per (seed, round, client), so
+	// dropping the superseded job loses nothing.
+	gen int
 }
 
 // Engine is one edge node's full Totoro stack: overlay node, forest node,
@@ -128,6 +168,9 @@ type Engine struct {
 	// an ownership-probe loop (see failover.go).
 	replicas map[AppID]*replicaMsg
 	checking map[AppID]bool
+	// suspect counts consecutive unanswered masterPings per app while the
+	// ring routes the app key here (promotion gate, see failover.go).
+	suspect map[AppID]int
 
 	// Cached handles into env.Metrics(): engine.promotions counts
 	// replica→master failover promotions, engine.rounds counts completed
@@ -142,14 +185,23 @@ type Engine struct {
 	walAppends        int
 	recovered         bool
 	resumed           bool
+	degraded          bool
 	ctrStoreAppends   *obs.Counter
 	ctrStoreSnapshots *obs.Counter
 	ctrStoreErrors    *obs.Counter
 	ctrRecoveries     *obs.Counter
+	gaugeDegraded     *obs.Gauge
 
 	// RoundHook, when set, observes every completed master round
 	// (experiment instrumentation).
 	RoundHook func(app AppID, round int, acc float64, now time.Duration)
+
+	// AckHook, when set, observes every master-state acknowledgement:
+	// commit=true fires synchronously at each committed round (with the
+	// merged participant count), commit=false at every replication of a
+	// mastership image (claim, promotion, restart re-claim, post-commit).
+	// The chaos harness's invariant checker hangs off it (chaos.go).
+	AckHook func(app AppID, epoch, round, participants int, commit bool)
 }
 
 // NewEngine builds an engine for the given environment and identity.
@@ -173,6 +225,7 @@ func NewEngine(env transport.Env, self ring.Contact, opts Options) *Engine {
 		workers:  make(map[AppID]*workerState),
 		replicas: make(map[AppID]*replicaMsg),
 		checking: make(map[AppID]bool),
+		suspect:  make(map[AppID]int),
 	}
 	e.ctrPromotions = env.Metrics().Counter("engine.promotions")
 	e.ctrRounds = env.Metrics().Counter("engine.rounds")
@@ -182,6 +235,7 @@ func NewEngine(env transport.Env, self ring.Contact, opts Options) *Engine {
 		e.ctrStoreSnapshots = env.Metrics().Counter("store.snapshots")
 		e.ctrStoreErrors = env.Metrics().Counter("store.errors")
 		e.ctrRecoveries = env.Metrics().Counter("engine.recoveries")
+		e.gaugeDegraded = env.Metrics().Gauge("store.degraded")
 		RegisterWire() // journals decode through the same codec registry
 		ds, err := loadDurable(e.store)
 		if err != nil {
@@ -236,6 +290,10 @@ func (e *Engine) SetCallbacks(cb Callbacks) { e.cb = cb }
 func (e *Engine) Receive(from transport.Addr, msg any) {
 	if rep, ok := msg.(replicaMsg); ok {
 		e.handleReplica(rep)
+		return
+	}
+	if p, ok := msg.(masterPing); ok {
+		e.handleMasterPing(p)
 		return
 	}
 	if _, ok := msg.(ring.Message); ok {
@@ -489,10 +547,14 @@ func (e *Engine) handleRoundStart(app ids.ID, rs roundStart, subscriber bool) {
 	w := e.workers[app]
 	selected := subscriber && w != nil && w.shard != nil && w.shard.Len() > 0 &&
 		participates(app, e.Self().Addr, rs.Round, rs.Participation)
+	if w != nil {
+		w.gen++
+	}
 	if !selected {
 		e.ps.SubmitUpdate(app, rs.Round, nil)
 		return
 	}
+	gen := w.gen
 	if w.proto == nil || !sameSizes(w.proto.Sizes, rs.Sizes) {
 		w.proto = ml.NewMLP(rs.Sizes, e.env.Rand())
 	}
@@ -525,6 +587,9 @@ func (e *Engine) handleRoundStart(app ids.ID, rs roundStart, subscriber bool) {
 	})
 	e.env.After(finish-now, func() {
 		fut.Wait()
+		if w.gen != gen {
+			return // a newer announcement superseded this job; see workerState.gen
+		}
 		if agg.Acc == nil {
 			e.ps.SubmitUpdate(app, rs.Round, nil)
 			return
@@ -535,9 +600,67 @@ func (e *Engine) handleRoundStart(app ids.ID, rs roundStart, subscriber bool) {
 
 func (e *Engine) completeRound(m *masterState, round int, u updateAgg) {
 	if m.done || round != m.round {
-		return // stale or supplementary flush
+		return // stale flush, or supplementary partial for a committed round
 	}
+	// Fold this flush into the round's pending aggregate: while the round
+	// is held below quorum, every later flush delivers a disjoint
+	// supplementary partial (upstream dedup guarantees disjointness), and
+	// the commit must merge them all.
+	if u.Acc != nil && u.Acc.Count > 0 {
+		if m.pending.Acc == nil {
+			m.pending = u
+		} else if merged, ok := mergeUpdates(m.pending, u).(updateAgg); ok {
+			m.pending = merged
+		}
+	}
+	count := 0
+	if m.pending.Acc != nil {
+		count = m.pending.Acc.Count
+	}
+	quorum := m.spec.MinParticipants
+	if quorum < 1 {
+		quorum = 1 // never commit a zero-participant round unheld (vacuous-master guard)
+	}
+	if count < quorum {
+		if m.holds < maxRoundHolds {
+			// Below quorum. Hold the round open instead of committing a
+			// nearly-empty step: the round stays in flight, so supplementary
+			// partials (a straggler subtree, workers rejoining after a
+			// partition heals) re-enter here and commit for real — and a
+			// master promoted into an empty tree stalls harmlessly until
+			// reconciliation demotes it, rather than racing to MaxRounds on
+			// an untrained model.
+			m.holds++
+			e.env.Metrics().Counter("fl.round_holds").Inc()
+			wait := m.spec.RoundDeadline
+			if wait <= 0 {
+				wait = time.Second
+			}
+			epoch := m.epoch
+			e.env.After(wait, func() {
+				if cur, ok := e.masters[m.spec.ID]; ok && cur == m && !m.done &&
+					m.round == round && m.inFlight && m.epoch == epoch {
+					e.completeRound(m, round, updateAgg{})
+				}
+			})
+			return
+		}
+		if m.spec.MinParticipants > 1 && m.retriedRound != round {
+			// Holds exhausted and still below quorum: the missing updates
+			// are not late, they are gone (the usual cause is partials lost
+			// inside failed interior aggregators). Re-run the round once
+			// under a bumped epoch instead of committing a starved step.
+			e.retryRound(m, round)
+			return
+		}
+		// Liveness: after maxRoundHolds deadlines (and at most one retry)
+		// the round commits whatever it merged — participation sampling may
+		// legitimately select no one, or the fleet has genuinely shrunk.
+	}
+	u = m.pending
+	m.pending = updateAgg{}
 	m.inFlight = false
+	m.holds = 0
 	if u.Acc != nil {
 		if d := u.Acc.MeanDelta(); d != nil {
 			fl.ApplyDelta(m.global, d)
@@ -567,6 +690,9 @@ func (e *Engine) completeRound(m *masterState, round int, u updateAgg) {
 	if e.RoundHook != nil {
 		e.RoundHook(m.spec.ID, m.round, acc, now)
 	}
+	if e.AckHook != nil {
+		e.AckHook(m.spec.ID, m.epoch, m.round, participants, true)
+	}
 	reached := m.spec.TargetAccuracy > 0 && acc >= m.spec.TargetAccuracy
 	if reached || m.round >= m.spec.MaxRounds {
 		m.done = true
@@ -581,6 +707,44 @@ func (e *Engine) completeRound(m *masterState, round int, u updateAgg) {
 		return
 	}
 	e.journal(walMaster{Rep: e.masterImage(m)})
+	e.replicateRound(m)
+	e.beginRound(m)
+}
+
+// retryRound re-runs a round that stayed below quorum through every hold.
+// Holding longer cannot help: the missing client updates were typically
+// merged into partials that died with a failed interior aggregator, and
+// once partials have merged no resend can be deduplicated — a raw resend
+// risks counting a client twice. So the master aborts the round's
+// aggregation instance wholesale: it bumps its mastership epoch (exactly
+// like a failover promotion onto itself), which makes every hop's
+// upstream epoch gate discard the aborted instance's partials — dropped,
+// never merged — and re-announces the same round number. Workers retrain
+// deterministically (the per-round rng is derived from (seed, round,
+// client)) and resubmit under the new epoch, so the retried commit is
+// bit-identical to the round the fault erased. completeRound allows one
+// retry per round, keeping liveness bounded.
+func (e *Engine) retryRound(m *masterState, round int) {
+	m.retriedRound = round
+	m.epoch++
+	m.round = round - 1 // beginRound advances it back to round
+	m.inFlight = false
+	m.pending = updateAgg{}
+	m.holds = 0
+	e.env.Metrics().Counter("fl.round_retries").Inc()
+	// Journal the epoch bump before any network action, like a promotion:
+	// a crash mid-retry must not recover into the aborted epoch.
+	e.journal(walMaster{Rep: e.masterImage(m)})
+	// The bumped epoch restarts the multicast stream; members clear their
+	// per-round aggregation state when the re-announcement reaches them.
+	e.ps.CreateWithConfig(m.spec.ID, pubsub.TreeConfig{
+		MaxFanout:  m.spec.TreeFanout,
+		AggTimeout: m.spec.RoundDeadline,
+		Epoch:      uint64(m.epoch),
+	})
+	// This node's own aggRound for the aborted instance is flushed; the
+	// re-announced round must aggregate fresh.
+	e.ps.ResetRounds(m.spec.ID)
 	e.replicateRound(m)
 	e.beginRound(m)
 }

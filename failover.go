@@ -6,6 +6,7 @@ import (
 	"totoro/internal/ids"
 	"totoro/internal/pubsub"
 	"totoro/internal/ring"
+	"totoro/internal/transport"
 	"totoro/internal/workload"
 )
 
@@ -75,6 +76,9 @@ func (e *Engine) masterImage(m *masterState) replicaMsg {
 // successors. Called after becoming master, on training start, and after
 // every completed round — so a replica is never more than one round stale.
 func (e *Engine) replicateRound(m *masterState) {
+	if e.AckHook != nil {
+		e.AckHook(m.spec.ID, m.epoch, m.round, 0, false)
+	}
 	k := e.opts.Replicas
 	if k <= 0 {
 		return // replication disabled (the default)
@@ -96,7 +100,15 @@ func (e *Engine) handleReplica(rep replicaMsg) {
 	if m, ok := e.masters[app]; ok {
 		switch {
 		case rep.Epoch < m.epoch:
-			return // stale replica of a mastership we already superseded
+			// A stale master is still replicating: a partition healed and the
+			// loser of an epoch race doesn't know it lost. Beat it back with
+			// our newer image — handleReplica on its side demotes it, which
+			// discards (not merges) its divergent in-flight round. Without
+			// this reply the loser only reconciles if it happens to sit in
+			// our leaf set; with it, heal resolves within one of the loser's
+			// replication attempts.
+			e.nackStaleMaster(m, rep)
+			return
 		case rep.Epoch == m.epoch:
 			if rep.Master.Addr == e.Self().Addr {
 				return // echo of our own replication
@@ -105,6 +117,7 @@ func (e *Engine) handleReplica(rep replicaMsg) {
 			// views). Deterministic tie-break: the one closer to the app key
 			// is the rightful rendezvous node; the other steps down.
 			if ids.Closer(app, e.Self().ID, rep.Master.ID) {
+				e.nackStaleMaster(m, rep) // same-epoch tie-break: tell the loser
 				return
 			}
 			delete(e.masters, app)
@@ -119,10 +132,64 @@ func (e *Engine) handleReplica(rep replicaMsg) {
 	if cur, ok := e.replicas[app]; ok && !newerReplica(rep, *cur) {
 		return
 	}
+	delete(e.suspect, app) // a fresh image is proof of a live master
 	e.replicas[app] = &rep
 	if rep.Started && !rep.Done {
 		e.ensureReplicaCheck(app)
 	}
+}
+
+// masterPing asks an application's last-known master to prove it is still
+// alive and in charge. A replica holder sends it before promoting itself:
+// overlay routing state can scrub a live master on a single dropped
+// hop-ack, and promoting on ring evidence alone forks the app into a
+// spurious higher-epoch lineage that — by the epoch rule — later *wins*
+// reconciliation with nearly untrained state. The master answers with its
+// current image (a replicaMsg), which both refreshes the replica and
+// resets the holder's suspicion; silence across masterProbeTries
+// consecutive checks clears the node to promote.
+type masterPing struct {
+	App  AppID
+	From transport.Addr
+}
+
+func (masterPing) WireSize() int { return 24 }
+
+// masterProbeTries is how many consecutive unanswered masterPings a
+// replica holder needs before concluding the master is gone. Two checks
+// tolerate one dropped ping or reply without delaying real failover by
+// more than one ReplicaCheckInterval.
+const masterProbeTries = 2
+
+// handleMasterPing answers a replica holder's liveness probe: if this node
+// masters the app, reply with the current image (proof plus refresh).
+// Anything else stays silent — the prober's timeout is the signal.
+func (e *Engine) handleMasterPing(p masterPing) {
+	m, ok := e.masters[p.App]
+	if !ok || p.From == e.Self().Addr || p.From == "" {
+		return
+	}
+	img := e.masterImage(m)
+	if m.inFlight {
+		// Unlike replicateRound (which only runs right after a commit),
+		// a ping can catch the master mid-round. Report the last
+		// *committed* round: an image claiming an unacked round would put
+		// the replica ahead of the master's acks.
+		img.Round = m.round - 1
+	}
+	e.env.Send(p.From, img)
+}
+
+// nackStaleMaster answers a losing master's replication with this
+// master's own winning image, sent straight back to the sender. The
+// loser's handleReplica demotes it by the normal epoch/tie-break rules;
+// its in-flight round dies with the demotion (the replica it keeps is
+// OUR image, so nothing of its divergent state merges into the app).
+func (e *Engine) nackStaleMaster(m *masterState, stale replicaMsg) {
+	if stale.Master.Addr == e.Self().Addr || stale.Master.Addr == "" {
+		return
+	}
+	e.env.Send(stale.Master.Addr, e.masterImage(m))
 }
 
 // ensureReplicaCheck runs a periodic ownership probe while this node holds
@@ -171,8 +238,21 @@ func (e *Engine) maybePromote(app AppID) bool {
 		return false
 	}
 	if !e.ring.NextHop(app).IsZero() {
-		return false // some other node still owns the key
+		delete(e.suspect, app) // the key routes elsewhere: not our call
+		return false
 	}
+	// The ring routes the key to us — but that alone is weak evidence of
+	// the master's death (see masterPing). Probe it directly and only
+	// promote after masterProbeTries consecutive silent checks; any image
+	// it sends back lands in handleReplica, which clears the suspicion.
+	if rep.Master.Addr != "" && rep.Master.Addr != e.Self().Addr {
+		if tries := e.suspect[app]; tries < masterProbeTries {
+			e.suspect[app] = tries + 1
+			e.env.Send(rep.Master.Addr, masterPing{App: app, From: e.Self().Addr})
+			return false
+		}
+	}
+	delete(e.suspect, app)
 	delete(e.replicas, app)
 	m := &masterState{
 		spec:    rep.Spec,

@@ -137,17 +137,30 @@ type Upstream struct {
 	Topic ids.ID
 	Round int
 	From  ring.Contact
+	// Epoch is the tree generation the sender aggregated under. After a
+	// failover the new root re-announces the round it found incomplete
+	// under a bumped epoch; a partial aggregated under the old generation
+	// must be discarded, never merged — the same clients resubmit to the
+	// new announcement, so folding the stale partial in would double-count
+	// every contribution in the sender's subtree.
+	Epoch uint64
 	// Object is the combined update of the sender's subtree (nil when the
 	// subtree had nothing to contribute).
 	Object any
 	// Count is the number of raw contributions folded into Object.
 	Count int
+	// Seq numbers every upstream this sender emits for this topic (from 1;
+	// 0 means unset). Receivers drop an (From, Seq) pair they have already
+	// merged into the round, so a network-duplicated upstream cannot
+	// double-count its contributions. The counter restarts when the sender
+	// reboots, which is safe because dedup is scoped per aggregation round.
+	Seq uint64
 }
 
 func (Upstream) pubsubMessage() {}
 
 // WireSize charges header plus object.
-func (u Upstream) WireSize() int { return 48 + transport.SizeOf(u.Object) }
+func (u Upstream) WireSize() int { return 56 + transport.SizeOf(u.Object) }
 
 // KeepAlive is the parent→child heartbeat used for failure detection. It
 // piggybacks the parent's highest multicast sequence (and the stream

@@ -64,9 +64,19 @@ type aggRound struct {
 	count    int
 	reported map[transport.Addr]bool
 	expected map[transport.Addr]bool
+	// seen records every (sender, upstream-seq) pair already folded into
+	// (or forwarded for) this round, so a network-duplicated Upstream is
+	// dropped instead of double-counted.
+	seen     map[upKey]bool
 	selfDone bool
 	flushed  bool
 	cancel   func()
+}
+
+// upKey identifies one Upstream emission for dedup.
+type upKey struct {
+	from transport.Addr
+	seq  uint64
 }
 
 // topicState is this node's view of one tree.
@@ -88,6 +98,9 @@ type topicState struct {
 	// report; children missing childMissLimit rounds in a row are dropped.
 	missCount map[transport.Addr]int
 	seq       uint64
+	// upSeq numbers this node's Upstream emissions for the topic (dedup
+	// at the receiver; see Upstream.Seq).
+	upSeq uint64
 	// Reliable multicast state: the root generation (epoch) the state
 	// belongs to, highest sequence seen, the first sequence this member
 	// ever saw (its baseline — history before it joined is not owed), the
@@ -124,6 +137,8 @@ type Node struct {
 	// Cached handles into env.Metrics() — see the "pubsub.*" names below.
 	ctrMulticasts     *obs.Counter
 	ctrUpstreams      *obs.Counter
+	ctrUpstreamDupes  *obs.Counter
+	ctrStaleUpstreams *obs.Counter
 	ctrRepairs        *obs.Counter
 	ctrJoinIntercepts *obs.Counter
 	ctrFlushes        *obs.Counter
@@ -145,6 +160,8 @@ func New(env transport.Env, rn *ring.Node, cfg Config) *Node {
 	m := env.Metrics()
 	n.ctrMulticasts = m.Counter("pubsub.multicasts_sent")     // per-child multicast sends
 	n.ctrUpstreams = m.Counter("pubsub.upstreams_sent")       // partial aggregates sent to parent
+	n.ctrUpstreamDupes = m.Counter("pubsub.upstream_dupes")   // duplicated upstreams dropped by seq dedup
+	n.ctrStaleUpstreams = m.Counter("pubsub.stale_upstreams") // old-tree-generation partials discarded, not merged
 	n.ctrRepairs = m.Counter("pubsub.repairs")                // parent failures repaired by re-join
 	n.ctrJoinIntercepts = m.Counter("pubsub.join_intercepts") // joins spliced before the root
 	n.ctrFlushes = m.Counter("pubsub.flushes")                // aggregation rounds flushed upstream
@@ -646,6 +663,7 @@ func (n *Node) round(st *topicState, round int) *aggRound {
 		r = &aggRound{
 			reported: make(map[transport.Addr]bool),
 			expected: make(map[transport.Addr]bool, len(st.children)),
+			seen:     make(map[upKey]bool),
 		}
 		for a := range st.children {
 			r.expected[a] = true
@@ -667,7 +685,29 @@ func (n *Node) round(st *topicState, round int) *aggRound {
 
 func (n *Node) handleUpstream(m Upstream) {
 	st := n.state(m.Topic)
+	// Epoch-gate before touching round state: a partial aggregated under a
+	// previous tree generation is divergent in-flight state and must be
+	// discarded, not merged (its clients resubmit under the new epoch). A
+	// newer epoch than ours means the root failed over and this node has
+	// not seen the new stream yet — advance, which voids our own stale
+	// rounds, then merge the partial into the fresh one.
+	if !n.mcAdvance(st, m.Epoch) {
+		n.ctrStaleUpstreams.Inc()
+		return
+	}
 	r := n.round(st, m.Round)
+	if m.Seq != 0 {
+		// Drop duplicates before any merging or forwarding: the network can
+		// deliver an Upstream twice (retry logic, injected faults), and the
+		// combiner merges in place — a second merge would double-count every
+		// client contribution in the sender's subtree.
+		k := upKey{m.From.Addr, m.Seq}
+		if r.seen[k] {
+			n.ctrUpstreamDupes.Inc()
+			return
+		}
+		r.seen[k] = true
+	}
 	r.reported[m.From.Addr] = true
 	delete(st.missCount, m.From.Addr)
 	if n.handlers.OnChildUpdate != nil {
@@ -729,8 +769,10 @@ func (n *Node) forwardUp(st *topicState, round int, obj any, count int) {
 		return
 	}
 	n.ctrUpstreams.Inc()
+	st.upSeq++
 	n.env.Send(st.parent.Addr, Upstream{
-		Topic: st.topic, Round: round, From: n.ring.Self(), Object: obj, Count: count,
+		Topic: st.topic, Round: round, From: n.ring.Self(), Epoch: st.mcEpoch,
+		Object: obj, Count: count, Seq: st.upSeq,
 	})
 }
 

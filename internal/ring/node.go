@@ -30,6 +30,14 @@ type Config struct {
 	// refused re-insertion, so that repair replies from peers that have not
 	// yet noticed the failure cannot resurrect it.
 	DeadQuarantine time.Duration
+	// RecontactTries is how many maintenance cycles a removed contact keeps
+	// being probed after it is scrubbed. A healed partition looks exactly
+	// like a mass failure — both sides have scrubbed each other from all
+	// routing state, so no traffic crosses the former boundary and the
+	// overlay would stay split forever without an active re-contact path.
+	// A contact that stays silent for this many probes is dropped for good
+	// (it can still return via an explicit re-join). Negative disables.
+	RecontactTries int
 	// Proximity estimates the network distance between two addresses; when
 	// set, routing-table slots prefer physically closer candidates,
 	// which is Pastry's locality property. May be nil.
@@ -52,6 +60,9 @@ func (c Config) withDefaults() Config {
 	if c.DeadQuarantine == 0 {
 		c.DeadQuarantine = 2 * time.Second
 	}
+	if c.RecontactTries == 0 {
+		c.RecontactTries = 20
+	}
 	return c
 }
 
@@ -59,6 +70,14 @@ type pendingHop struct {
 	env    Envelope
 	next   Contact
 	cancel func()
+}
+
+// removedContact remembers a scrubbed contact so maintenance can keep
+// probing it for a bounded number of cycles — the only way two sides of a
+// healed partition find each other again.
+type removedContact struct {
+	c     Contact
+	tries int
 }
 
 // Node is one overlay participant.
@@ -80,6 +99,8 @@ type Node struct {
 	// Maintenance probe bookkeeping (StartMaintenance).
 	probeSent map[transport.Addr]time.Duration
 	lastPong  map[transport.Addr]time.Duration
+	// Removed contacts still being re-probed (partition-heal re-merge).
+	removed map[transport.Addr]removedContact
 
 	// Cached handles into env.Metrics() — see the "ring.*" names below.
 	ctrDelivered  *obs.Counter
@@ -87,6 +108,7 @@ type Node struct {
 	ctrHopRetries *obs.Counter
 	ctrJoins      *obs.Counter
 	ctrRepairs    *obs.Counter
+	ctrRecontacts *obs.Counter
 	hopHist       *obs.Histogram
 }
 
@@ -104,6 +126,7 @@ func New(env transport.Env, self Contact, cfg Config) *Node {
 		deadUntil: make(map[transport.Addr]time.Duration),
 		probeSent: make(map[transport.Addr]time.Duration),
 		lastPong:  make(map[transport.Addr]time.Duration),
+		removed:   make(map[transport.Addr]removedContact),
 	}
 	for i := range n.rt {
 		n.rt[i] = make([]Contact, 1<<uint(cfg.B))
@@ -114,6 +137,7 @@ func New(env transport.Env, self Contact, cfg Config) *Node {
 	n.ctrHopRetries = m.Counter("ring.hop_retries") // reliable-hop timeouts that re-routed
 	n.ctrJoins = m.Counter("ring.joins")            // joins this node completed
 	n.ctrRepairs = m.Counter("ring.leafset_repairs")
+	n.ctrRecontacts = m.Counter("ring.recontact_probes") // probes to scrubbed contacts (partition-heal re-merge)
 	n.hopHist = m.Histogram("ring.route_hops", obs.HopBuckets)
 	return n
 }
@@ -147,6 +171,7 @@ func (n *Node) Receive(from transport.Addr, msg any) {
 	// proof the node is back (e.g. crash-restarted and rejoining); the
 	// quarantine only guards against stale third-party gossip.
 	delete(n.deadUntil, from)
+	delete(n.removed, from)
 	switch m := msg.(type) {
 	case Envelope:
 		if n.cfg.ReliableHops && from != n.self.Addr {
@@ -380,6 +405,7 @@ func (n *Node) considerContact(c Contact) {
 		}
 		delete(n.deadUntil, c.Addr)
 	}
+	delete(n.removed, c.Addr)
 	n.insertLeaf(c)
 	n.insertRT(c)
 	n.insertNeighbor(c)
@@ -464,7 +490,10 @@ func (n *Node) insertNeighbor(c Contact) {
 // and starts leaf-set repair if a leaf was lost.
 func (n *Node) RemoveContact(addr transport.Addr) {
 	n.deadUntil[addr] = n.env.Now() + n.cfg.DeadQuarantine
+	delete(n.probeSent, addr)
+	delete(n.lastPong, addr)
 	repaired := false
+	var gone Contact
 	filter := func(list []Contact) []Contact {
 		out := list[:0]
 		for _, c := range list {
@@ -472,6 +501,7 @@ func (n *Node) RemoveContact(addr transport.Addr) {
 				out = append(out, c)
 			} else {
 				repaired = true
+				gone = c
 			}
 		}
 		return out
@@ -482,9 +512,17 @@ func (n *Node) RemoveContact(addr transport.Addr) {
 	for _, row := range n.rt {
 		for i, c := range row {
 			if c.Addr == addr {
+				gone = c
 				row[i] = Contact{}
 			}
 		}
+	}
+	// Remember the scrubbed contact for bounded re-probing: if it went
+	// silent because of a partition rather than a crash, the probes are the
+	// only traffic that can cross the healed boundary and re-merge the two
+	// sides' routing state.
+	if !gone.IsZero() && n.cfg.RecontactTries > 0 {
+		n.removed[addr] = removedContact{c: gone}
 	}
 	if repaired {
 		n.repairLeafset()
@@ -599,6 +637,29 @@ func (n *Node) maintainOnce() {
 		}
 		n.probeSent[c.Addr] = now
 		n.env.Send(c.Addr, Ping{From: n.self})
+	}
+	// Re-probe scrubbed contacts: a pong re-merges a healed partition (the
+	// direct reply clears the quarantine and re-inserts the contact); a
+	// crashed-for-good node exhausts its tries and is forgotten. Sorted
+	// iteration keeps the probe order — and so the simulation — deterministic.
+	if len(n.removed) == 0 {
+		return
+	}
+	addrs := make([]transport.Addr, 0, len(n.removed))
+	for a := range n.removed {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		rc := n.removed[a]
+		if rc.tries >= n.cfg.RecontactTries {
+			delete(n.removed, a)
+			continue
+		}
+		rc.tries++
+		n.removed[a] = rc
+		n.ctrRecontacts.Inc()
+		n.env.Send(a, Ping{From: n.self})
 	}
 }
 

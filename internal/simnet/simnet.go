@@ -63,6 +63,10 @@ type Config struct {
 	// message, and existing experiments calibrated their bandwidth models
 	// against the estimates.
 	Sizer func(from transport.Addr, msg any) (int, error)
+	// OnViolation handles invariant violations (see AddInvariant). Nil
+	// panics with the *InvariantViolation, which carries the seed and a
+	// trace excerpt for deterministic replay.
+	OnViolation func(*InvariantViolation)
 }
 
 // ConstLatency returns a LatencyFunc with a fixed one-way delay.
@@ -161,7 +165,27 @@ type Network struct {
 	// per-node counters live in each node's own registry.
 	reg       *obs.Registry
 	delivered *obs.Counter
-	dropped   *obs.Counter
+	// dropped is the total of all drop causes; the per-cause counters say
+	// why a message died, not just that it did.
+	dropped          *obs.Counter
+	droppedLoss      *obs.Counter // Bernoulli link loss (Config.Loss)
+	droppedDead      *obs.Counter // destination missing or crashed
+	droppedPartition *obs.Counter // blocked link (Partition/BlockOneWay)
+	droppedFault     *obs.Counter // LinkRule.Drop
+	dupInjected      *obs.Counter // LinkRule.Dup duplicates delivered
+	reorderInjected  *obs.Counter // LinkRule.Reorder holdbacks applied
+
+	// Fault-injection state (faults.go): ref-counted blocked directed
+	// links and the installed per-link fault rules.
+	blocked map[linkKey]int
+	rules   []*LinkRule
+
+	// Always-on safety checks (faults.go): run after every event that
+	// advances the virtual clock and at explicit quiesce checks. The
+	// first failure is recorded in violation.
+	invariants []func() error
+	lastCheck  time.Duration
+	violation  *InvariantViolation
 }
 
 // New creates an empty simulated network.
@@ -174,21 +198,31 @@ func New(cfg Config) *Network {
 	}
 	reg := obs.New(cfg.TraceCap)
 	return &Network{
-		cfg:       cfg,
-		nodes:     make(map[transport.Addr]*simNode),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		latency:   cfg.Latency,
-		loss:      cfg.Loss,
-		reg:       reg,
-		delivered: reg.Counter("net.delivered"),
-		dropped:   reg.Counter("net.dropped"),
+		cfg:              cfg,
+		nodes:            make(map[transport.Addr]*simNode),
+		rng:              rand.New(rand.NewSource(cfg.Seed)),
+		latency:          cfg.Latency,
+		loss:             cfg.Loss,
+		reg:              reg,
+		delivered:        reg.Counter("net.delivered"),
+		dropped:          reg.Counter("net.dropped"),
+		droppedLoss:      reg.Counter("net.dropped_loss"),
+		droppedDead:      reg.Counter("net.dropped_dead"),
+		droppedPartition: reg.Counter("net.dropped_partition"),
+		droppedFault:     reg.Counter("net.dropped_fault"),
+		dupInjected:      reg.Counter("net.dup_injected"),
+		reorderInjected:  reg.Counter("net.reorder_injected"),
+		lastCheck:        -1,
 	}
 }
 
 // Delivered returns the total messages actually delivered.
 func (n *Network) Delivered() int64 { return n.delivered.Value() }
 
-// Dropped returns the messages lost to link loss or dead destinations.
+// Dropped returns the total messages lost, to any cause. The per-cause
+// split lives in the network registry: net.dropped_loss (Bernoulli link
+// loss), net.dropped_dead (dead destination), net.dropped_partition
+// (blocked link), net.dropped_fault (LinkRule drops).
 func (n *Network) Dropped() int64 { return n.dropped.Value() }
 
 // Now returns the current virtual time.
@@ -266,8 +300,40 @@ func (n *Network) send(from *simNode, to transport.Addr, msg any) {
 	size := n.sizeOf(from.addr, msg)
 	from.msgsOut.Inc()
 	from.bytesOut.Add(int64(size))
+	if n.blocked[linkKey{from.addr, to}] > 0 {
+		n.dropped.Inc()
+		n.droppedPartition.Inc()
+		return
+	}
+	// Per-link fault rules: drop kills the message outright; duplication,
+	// reordering, and extra delay shape how (and how often) it arrives.
+	var extra time.Duration
+	dup := false
+	for _, r := range n.rules {
+		if !r.matches(from.addr, to) {
+			continue
+		}
+		if r.Drop > 0 && n.rng.Float64() < r.Drop {
+			n.dropped.Inc()
+			n.droppedFault.Inc()
+			return
+		}
+		if r.Dup > 0 && n.rng.Float64() < r.Dup {
+			dup = true
+		}
+		extra += r.Delay
+		if r.Reorder > 0 && n.rng.Float64() < r.Reorder {
+			w := r.ReorderWindow
+			if w <= 0 {
+				w = defaultReorderWindow
+			}
+			extra += time.Duration(n.rng.Int63n(int64(w)))
+			n.reorderInjected.Inc()
+		}
+	}
 	if p := n.loss(from.addr, to); p > 0 && n.rng.Float64() < p {
 		n.dropped.Inc()
+		n.droppedLoss.Inc()
 		return
 	}
 	// Egress serialization: the sender's NIC transmits one frame at a time.
@@ -277,32 +343,62 @@ func (n *Network) send(from *simNode, to transport.Addr, msg any) {
 	}
 	txEnd := txStart + from.txTime(size)
 	from.egressFree = txEnd
-	arrival := txEnd + n.latency(from.addr, to)
-	// Ingress serialization: the receiver drains its link in arrival order.
-	// (Known at schedule time because the event loop is single-threaded.)
-	deliverAt := arrival
-	if dst, ok := n.nodes[to]; ok {
+	arrival := txEnd + n.latency(from.addr, to) + extra
+	n.deliver(from.addr, to, msg, size, arrival)
+	if dup {
+		// The duplicate is a network-level copy: it skips the sender's NIC
+		// (sent once) but arrives independently after its own jitter.
+		n.dupInjected.Inc()
+		w := defaultReorderWindow
+		arrival2 := arrival + time.Duration(n.rng.Int63n(int64(w)))
+		n.deliver(from.addr, to, msg, size, arrival2)
+	}
+}
+
+// deliver schedules one arrival at the destination. Ingress serialization
+// is charged when the message arrives, not when it was sent: the receiver
+// drains its link in true arrival order, so messages that the fault layer
+// delayed or reordered don't head-of-line-block messages that physically
+// got there first.
+func (n *Network) deliver(src, to transport.Addr, msg any, size int, arrival time.Duration) {
+	n.schedule(arrival-n.now, func() {
+		dst, ok := n.nodes[to]
+		if !ok || !dst.alive {
+			n.dropped.Inc()
+			n.droppedDead.Inc()
+			return
+		}
+		deliverAt := n.now
 		if dst.ingressFree > deliverAt {
 			deliverAt = dst.ingressFree
 		}
 		deliverAt += dst.txTime(size)
 		dst.ingressFree = deliverAt
-	}
-	src := from.addr
-	n.schedule(deliverAt-n.now, func() {
-		dst, ok := n.nodes[to]
-		if !ok || !dst.alive {
-			n.dropped.Inc()
+		if deliverAt <= n.now {
+			n.handoff(dst, src, size, msg)
 			return
 		}
-		dst.msgsIn.Inc()
-		dst.bytesIn.Add(int64(size))
-		n.delivered.Inc()
-		if n.cfg.Observer != nil {
-			n.cfg.Observer(src, to, size)
-		}
-		dst.handler.Receive(src, msg)
+		n.schedule(deliverAt-n.now, func() {
+			dst, ok := n.nodes[to]
+			if !ok || !dst.alive {
+				n.dropped.Inc()
+				n.droppedDead.Inc()
+				return
+			}
+			n.handoff(dst, src, size, msg)
+		})
 	})
+}
+
+// handoff counts and delivers one message that cleared the receiver's link.
+func (n *Network) handoff(dst *simNode, src transport.Addr, size int, msg any) {
+	dst.msgsIn.Inc()
+	dst.bytesIn.Add(int64(size))
+	n.delivered.Inc()
+	if n.cfg.Observer != nil {
+		n.cfg.Observer(src, dst.addr, size)
+	}
+	dst.handler.Receive(src, msg)
 }
 
 // sizeOf charges a message's simulated wire cost: the exact frame size
@@ -343,7 +439,8 @@ func (n *Network) ScheduleAfter(d time.Duration, fn func()) (cancel func()) {
 }
 
 // Step executes the next pending event. It reports false when the queue is
-// empty.
+// empty. With invariants registered (AddInvariant), the checks run after
+// every event that lands on a new virtual timestamp.
 func (n *Network) Step() bool {
 	for n.queue.Len() > 0 {
 		ev := heap.Pop(&n.queue).(*event)
@@ -352,6 +449,10 @@ func (n *Network) Step() bool {
 		}
 		n.now = ev.at
 		ev.fn()
+		if len(n.invariants) > 0 && n.now != n.lastCheck {
+			n.lastCheck = n.now
+			n.runInvariants()
+		}
 		return true
 	}
 	return false
@@ -507,7 +608,9 @@ func (n *Network) ResetTraffic() {
 	for _, node := range n.nodes {
 		node.reg.ResetCounters(CtrMsgsIn, CtrMsgsOut, CtrBytesIn, CtrBytesOut)
 	}
-	n.reg.ResetCounters("net.delivered", "net.dropped")
+	n.reg.ResetCounters("net.delivered", "net.dropped",
+		"net.dropped_loss", "net.dropped_dead", "net.dropped_partition",
+		"net.dropped_fault", "net.dup_injected", "net.reorder_injected")
 }
 
 // Addrs returns all registered node addresses in insertion-independent

@@ -239,11 +239,13 @@ func init() {
 			e.ID(m.Topic)
 			e.Int(m.Round)
 			e.Contact(m.From)
+			e.Uvarint(m.Epoch)
 			e.Int(m.Count)
+			e.Uvarint(m.Seq)
 			e.Value(m.Object)
 		},
 		func(d *Dec) any {
-			return pubsub.Upstream{Topic: d.ID(), Round: d.Int(), From: d.Contact(), Count: d.Int(), Object: d.Value()}
+			return pubsub.Upstream{Topic: d.ID(), Round: d.Int(), From: d.Contact(), Epoch: d.Uvarint(), Count: d.Int(), Seq: d.Uvarint(), Object: d.Value()}
 		})
 	register(tagPSKeepAlive, pubsub.KeepAlive{},
 		func(e *Enc, v any) {

@@ -29,6 +29,10 @@ type App struct {
 	TargetAccuracy float64
 	// MaxRounds bounds training length.
 	MaxRounds int
+	// MinParticipants is the per-round commit quorum (see
+	// AppSpec.MinParticipants): a deadline-flushed round below it is held
+	// open for late updates before committing. Zero commits any flush.
+	MinParticipants int
 	// Seed roots the app's deterministic per-client training randomness:
 	// every client derives its round rng from (Seed, round, client), so
 	// training order and parallelism cannot perturb results.

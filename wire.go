@@ -26,6 +26,7 @@ func RegisterWire() {
 		gob.Register(roundStart{})
 		gob.Register(updateAgg{})
 		gob.Register(replicaMsg{})
+		gob.Register(masterPing{})
 		gob.Register(walIdentity{})
 		gob.Register(walSub{})
 		gob.Register(walUnsub{})

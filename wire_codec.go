@@ -140,6 +140,7 @@ func encAppSpec(e *codec.Enc, s AppSpec) {
 	e.Bool(s.ZoneRestricted)
 	e.Int(s.TreeFanout)
 	e.Varint(int64(s.RoundDeadline))
+	e.Int(s.MinParticipants)
 	e.Varint(s.Seed)
 }
 
@@ -149,7 +150,7 @@ func decAppSpec(d *codec.Dec) AppSpec {
 		Cfg: decClientConfig(d), Participation: d.Float64(), TargetAccuracy: d.Float64(),
 		MaxRounds: d.Int(), Compressor: d.String(), TopK: d.Int(), NoiseSigma: d.Float64(),
 		ZoneRestricted: d.Bool(), TreeFanout: d.Int(), RoundDeadline: time.Duration(d.Varint()),
-		Seed: d.Varint(),
+		MinParticipants: d.Int(), Seed: d.Varint(),
 	}
 }
 
