@@ -38,12 +38,14 @@ func chaosCluster(seed int64, replicas int) *Cluster {
 	})
 }
 
-// chaosSpec is the composed acceptance schedule: five fault kinds overlap
+// chaosSpec is the composed acceptance schedule: nine fault kinds overlap
 // around t=2s — a partition that heals, message drop/dup/reorder rules, a
-// WAL fsync fault window on two nodes, and a two-node kill with
-// crash-restart.
+// fleet-wide extra-latency window, two slowed nodes, an asymmetric
+// (one-way) partition, a WAL fsync fault window on two nodes, and a
+// two-node kill with crash-restart.
 const chaosSpec = "partition@1s+2s/frac=0.25;drop@500ms+3s/p=0.1;dup@500ms+3s/p=0.25;" +
-	"reorder@1s+2s/p=0.3;disk@1500ms+1500ms/n=2;kill@2s+1500ms/n=2"
+	"reorder@1s+2s/p=0.3;delay@800ms+2s/d=30ms;slow@1s+2s/n=2,d=20ms;" +
+	"oneway@1200ms+1800ms/frac=0.2;disk@1500ms+1500ms/n=2;kill@2s+1500ms/n=2"
 
 // chaosRounds gives every acceptance run the same horizon: all faults
 // heal by t=3.5s, leaving several clean rounds for the fleet to converge
@@ -123,8 +125,9 @@ func runChaos(t *testing.T, seed int64, spec string, rounds int) chaosResult {
 }
 
 // TestChaosAcceptance is the harness acceptance test: under the composed
-// schedule — healed partition, drop/dup/reorder link rules, WAL fsync
-// faults, and kill–crash-restart all overlapping — training must complete
+// schedule — healed partition, drop/dup/reorder link rules, added latency,
+// slowed nodes, a one-way partition, WAL fsync faults, and
+// kill–crash-restart all overlapping — training must complete
 // every round on every seed with zero invariant violations, and the final
 // accuracy must land within 0.02 of the fault-free run of the same seed.
 func TestChaosAcceptance(t *testing.T) {
@@ -141,7 +144,7 @@ func TestChaosAcceptance(t *testing.T) {
 		if fault.violation != nil {
 			t.Fatalf("seed %d: %v", seed, fault.violation)
 		}
-		if fault.phases < 5 {
+		if fault.phases < 8 {
 			t.Fatalf("seed %d: only %d nemesis phases activated", seed, fault.phases)
 		}
 		if fault.commits == 0 {

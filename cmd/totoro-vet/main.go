@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	totoro-vet [-only analyzer[,analyzer]] [-list] [packages]
+//	totoro-vet [-only analyzer[,analyzer]] [-list] [-json] [packages]
 //
 // Packages are Go-style patterns relative to the module root ("./...",
 // "internal/ring", "internal/..."); the default is the whole module.
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as JSON objects, one per line (file/line/col/analyzer/message)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: totoro-vet [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -58,7 +60,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *only != "" {
-		keep := map[string]bool{"lint": true} // directive hygiene always applies
+		keep := map[string]bool{lint.Directive.Name: true} // directive hygiene always applies
 		for _, name := range strings.Split(*only, ",") {
 			keep[strings.TrimSpace(name)] = true
 		}
@@ -71,9 +73,34 @@ func main() {
 		diags = filtered
 	}
 	for _, d := range diags {
+		if *asJSON {
+			enc, err := json.Marshal(finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "totoro-vet: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(enc))
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// finding is the -json wire shape: one object per line, stable field
+// names, ready for CI to turn into code annotations.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }

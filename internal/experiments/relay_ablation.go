@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"totoro/internal/relay"
@@ -61,9 +62,18 @@ func relayRun(o Options, policy string, K int) RelayRow {
 			return 0
 		},
 	})
+	// Iterate the topology in sorted order everywhere below: node factories
+	// fire the relays' first adverts as they register, so registration in
+	// map order would enqueue sends in a different order every run and
+	// break same-seed reproducibility (totoro-vet: maporder).
+	addrs := make([]transport.Addr, 0, len(topo))
+	for a := range topo {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
 	inOf := map[transport.Addr][]transport.Addr{}
-	for src, nbs := range topo {
-		for _, dst := range nbs {
+	for _, src := range addrs {
+		for _, dst := range topo[src] {
 			inOf[dst] = append(inOf[dst], src)
 		}
 	}
@@ -74,8 +84,8 @@ func relayRun(o Options, policy string, K int) RelayRow {
 		id  int
 	}
 	var arrivals []arrival
-	for addr, nbs := range topo {
-		addr, nbs := addr, nbs
+	for _, addr := range addrs {
+		addr, nbs := addr, topo[addr]
 		net.AddNode(addr, func(e transport.Env) transport.Handler {
 			n := relay.New(e, relay.Config{
 				Neighbors:   nbs,
@@ -95,8 +105,8 @@ func relayRun(o Options, policy string, K int) RelayRow {
 	}
 	advertise := func(rounds int) {
 		for i := 0; i < rounds; i++ {
-			for _, n := range nodes {
-				n.AdvertiseNow()
+			for _, a := range addrs {
+				nodes[a].AdvertiseNow()
 			}
 			net.RunUntilIdle()
 		}

@@ -68,6 +68,8 @@ func Merge(a, b *Accum) *Accum {
 // Add folds b into a in place (b is read, never retained). The O(P)
 // buffer is reused, so interior aggregation nodes merging many children
 // do not allocate per merge.
+//
+//vet:noalloc
 func (a *Accum) Add(b *Accum) {
 	if len(a.WeightedSum) != len(b.WeightedSum) {
 		panic(fmt.Sprintf("fl: merging aggregates of different sizes %d vs %d",
@@ -83,6 +85,8 @@ func (a *Accum) Add(b *Accum) {
 
 // MergeInPlace folds b into a, reusing a's buffer when possible (either
 // side may be nil). The caller must own a; b is only read.
+//
+//vet:noalloc
 func MergeInPlace(a, b *Accum) *Accum {
 	if a == nil {
 		return b
@@ -108,6 +112,8 @@ func (a *Accum) MeanDelta() []float64 {
 }
 
 // ApplyDelta adds delta into global in place.
+//
+//vet:noalloc
 func ApplyDelta(global, delta []float64) {
 	for i := range global {
 		global[i] += delta[i]

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/types"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadCorpusGraph loads every package of the multi-package corpus module
+// at modRoot through one Loader and builds the whole-program graph.
+func loadCorpusGraph(t *testing.T, modRoot string) *CallGraph {
+	t.Helper()
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	dirs, err := resolvePatterns(loader.ModRoot, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, dir := range dirs {
+		if _, err := loader.LoadDir(dir); err != nil {
+			t.Fatalf("lint: load %s: %v", dir, err)
+		}
+	}
+	return BuildCallGraph(loader.Loaded())
+}
+
+// findFunc locates a declared function by "pkgname.Name" (methods by their
+// bare name; receiver types are unambiguous in the corpus).
+func findFunc(t *testing.T, g *CallGraph, qualified string) *FuncNode {
+	t.Helper()
+	pkgName, name, ok := strings.Cut(qualified, ".")
+	if !ok {
+		t.Fatalf("bad qualified name %q", qualified)
+	}
+	var found *FuncNode
+	for _, node := range g.nodes {
+		if node.Fn.Name() == name && node.Fn.Pkg() != nil && node.Fn.Pkg().Name() == pkgName {
+			if found != nil {
+				t.Fatalf("ambiguous %q", qualified)
+			}
+			found = node
+		}
+	}
+	if found == nil {
+		t.Fatalf("no function %q in graph", qualified)
+	}
+	return found
+}
+
+// TestCallGraphInterfaceDispatch proves a call through an interface in one
+// package resolves to its implementation in another: ring.Route's upcall
+// App.Deliver must carry a dynamic edge to node.Deliver, owned by the
+// interface's declaring package.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := loadCorpusGraph(t, "testdata/src/reentry")
+	route := findFunc(t, g, "ring.Route")
+	deliver := findFunc(t, g, "node.Deliver")
+	var hit *CallSite
+	for _, site := range route.Out {
+		if site.Callee == deliver {
+			hit = site
+		}
+	}
+	if hit == nil {
+		t.Fatalf("ring.Route has no edge to node.Deliver; out-edges: %v", siteNames(route))
+	}
+	if !hit.Dynamic {
+		t.Errorf("ring.Route -> node.Deliver should be a dynamic edge")
+	}
+	if hit.Owner == nil || hit.Owner.Name() != "ring" {
+		t.Errorf("edge owner = %v, want the interface's package (ring)", hit.Owner)
+	}
+}
+
+// TestCallGraphAsyncBoundary proves the transport contract: calls to
+// Env.Send stay unresolved and async, and call sites inside a literal
+// handed to Env.After are attributed to the enclosing declaration with
+// the Async flag.
+func TestCallGraphAsyncBoundary(t *testing.T) {
+	g := loadCorpusGraph(t, "testdata/src/reentry")
+	route := findFunc(t, g, "ring.Route")
+	var send *CallSite
+	for _, site := range route.Out {
+		if site.Fn != nil && site.Fn.Name() == "Send" {
+			send = site
+		}
+	}
+	if send == nil {
+		t.Fatalf("ring.Route has no Send site; out-edges: %v", siteNames(route))
+	}
+	if !send.Async || send.Callee != nil {
+		t.Errorf("Env.Send site: Async=%v Callee=%v, want async and unresolved", send.Async, send.Callee)
+	}
+
+	rebalance := findFunc(t, g, "node.rebalance")
+	var deferred *CallSite
+	for _, site := range rebalance.Out {
+		if site.Fn != nil && site.Fn.Name() == "Route" {
+			deferred = site
+		}
+	}
+	if deferred == nil {
+		t.Fatalf("node.rebalance's literal Route call not attributed to rebalance; out-edges: %v", siteNames(rebalance))
+	}
+	if !deferred.Async {
+		t.Errorf("Route call inside an After literal must be Async")
+	}
+	if deferred.Caller != rebalance {
+		t.Errorf("literal call site attributed to %v, want rebalance", deferred.Caller.Fn)
+	}
+}
+
+// TestCallGraphSyncReachableCycle proves reachability follows synchronous
+// edges across packages and through interface dispatch, terminates on the
+// Route <-> Deliver cycle, and excludes async edges.
+func TestCallGraphSyncReachableCycle(t *testing.T) {
+	g := loadCorpusGraph(t, "testdata/src/reentry")
+	recv := findFunc(t, g, "node.Receive")
+	route := findFunc(t, g, "ring.Route")
+	deliver := findFunc(t, g, "node.Deliver")
+	republish := findFunc(t, g, "node.republish")
+	rebalance := findFunc(t, g, "node.rebalance")
+
+	// node.Receive -> ring.Receive -> ring.Route -> (iface) node.Deliver.
+	if !g.SyncReachable(recv.Fn)[deliver.Fn] {
+		t.Errorf("node.Deliver not sync-reachable from node.Receive")
+	}
+	// The re-entry cycle closes in both directions without hanging.
+	if !g.SyncReachable(route.Fn)[republish.Fn] {
+		t.Errorf("node.republish not sync-reachable from ring.Route")
+	}
+	if !g.SyncReachable(republish.Fn)[route.Fn] {
+		t.Errorf("ring.Route not sync-reachable from node.republish")
+	}
+	// rebalance only reaches Route through the async literal: excluded.
+	if g.SyncReachable(rebalance.Fn)[route.Fn] {
+		t.Errorf("ring.Route must not be sync-reachable from node.rebalance (After boundary)")
+	}
+}
+
+// TestCallGraphFactCaching proves the per-function fact summaries are
+// computed once and shared: repeated queries return the SAME maps, so the
+// analyzers sharing one graph never recompute each other's facts.
+func TestCallGraphFactCaching(t *testing.T) {
+	g := loadCorpusGraph(t, "testdata/src/reentry")
+	if a, b := g.Sinks(), g.Sinks(); reflect.ValueOf(a).Pointer() != reflect.ValueOf(b).Pointer() {
+		t.Errorf("Sinks() recomputed instead of cached")
+	}
+	route := findFunc(t, g, "ring.Route")
+	if a, b := g.SyncReachable(route.Fn), g.SyncReachable(route.Fn); reflect.ValueOf(a).Pointer() != reflect.ValueOf(b).Pointer() {
+		t.Errorf("SyncReachable() recomputed instead of cached")
+	}
+	marks := g.noallocMarks()
+	if reflect.ValueOf(marks).Pointer() != reflect.ValueOf(g.noallocMarks()).Pointer() {
+		t.Errorf("noallocMarks() recomputed instead of cached")
+	}
+}
+
+// TestCallGraphSingleUniverse proves the loader's source-first importing
+// puts every package in one type universe: the *types.Named for
+// ring.Delivery seen from node's files IS ring's own object, so pointer
+// identity (and types.Implements) works across packages.
+func TestCallGraphSingleUniverse(t *testing.T) {
+	g := loadCorpusGraph(t, "testdata/src/reentry")
+	deliver := findFunc(t, g, "node.Deliver")
+	ringPkg := findFunc(t, g, "ring.Route").Pkg
+
+	sig := deliver.Fn.Type().(*types.Signature)
+	param := namedOf(sig.Params().At(0).Type())
+	if param == nil {
+		t.Fatalf("node.Deliver's parameter is not a named type")
+	}
+	own := ringPkg.Pkg.Scope().Lookup("Delivery")
+	if own == nil {
+		t.Fatalf("ring.Delivery not found in ring's scope")
+	}
+	if param.Obj() != own {
+		t.Errorf("ring.Delivery has two identities: %p (via node) vs %p (via ring)", param.Obj(), own)
+	}
+}
+
+// siteNames renders a node's out-edges for failure messages.
+func siteNames(n *FuncNode) []string {
+	var out []string
+	for _, s := range n.Out {
+		switch {
+		case s.Fn != nil:
+			out = append(out, s.Fn.Name())
+		default:
+			out = append(out, "<dynamic>")
+		}
+	}
+	return out
+}

@@ -40,18 +40,28 @@ var (
 		"internal/eua":         true,
 		"internal/workload":    true,
 	}
+	// hotPathDirs are packages outside the protocol/deterministic sets that
+	// carry //vet:noalloc annotations — the training kernels. (fl and the
+	// codec are hot paths too, but already members of protocolDirs.)
+	hotPathDirs = map[string]bool{
+		"internal/ml": true,
+	}
 )
 
 // analyzersFor returns the suite subset that applies to the package at
 // module-relative dir rel. Packages outside every set still get loaded
-// (their gob registrations feed the wire pre-pass) but are not analyzed.
+// (their gob registrations feed the wire pre-pass and their declarations
+// feed the call graph) but are not analyzed.
 func analyzersFor(rel string) []*Analyzer {
 	var out []*Analyzer
 	if protocolDirs[rel] {
-		out = append(out, EnvNow, GoFunc, WireSafe)
+		out = append(out, EnvNow, GoFunc, WireSafe, Reentry)
 	}
 	if protocolDirs[rel] || deterministicDirs[rel] {
 		out = append(out, MapOrder, SeedRand)
+	}
+	if protocolDirs[rel] || deterministicDirs[rel] || hotPathDirs[rel] {
+		out = append(out, NoAlloc)
 	}
 	return out
 }
@@ -89,6 +99,11 @@ func RunRepo(modRoot string, patterns []string) ([]Diagnostic, error) {
 		}
 		CollectWire(pkg, wire)
 	}
+	// The call graph spans the same whole-module package set as the wire
+	// pre-pass (plus anything the loader pulled in as a dependency): the
+	// graph analyzers need to see call chains that cross into packages the
+	// selected patterns did not name.
+	graph := BuildCallGraph(loader.Loaded())
 	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
@@ -113,7 +128,7 @@ func RunRepo(modRoot string, patterns []string) ([]Diagnostic, error) {
 		}
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			raw = append(raw, RunAnalyzer(a, pkg, wire)...)
+			raw = append(raw, RunAnalyzer(a, pkg, wire, graph)...)
 		}
 		kept, directiveDiags := ApplySuppressions(pkg, raw)
 		all = append(all, kept...)

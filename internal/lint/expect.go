@@ -89,23 +89,70 @@ func RunExpectTest(t TestingT, dir string, analyzers ...*Analyzer) {
 	if err != nil {
 		t.Fatalf("lint: load %s: %v", dir, err)
 	}
-	if len(pkg.TypeErrors) > 0 {
-		t.Fatalf("lint: corpus %s does not type-check: %v", dir, pkg.TypeErrors)
-	}
-	wire := NewWireSet()
-	CollectWire(pkg, wire)
-	var raw []Diagnostic
-	for _, a := range analyzers {
-		raw = append(raw, RunAnalyzer(a, pkg, wire)...)
-	}
-	kept, directiveDiags := ApplySuppressions(pkg, raw)
-	diags := append(kept, directiveDiags...)
-	SortDiagnostics(diags)
+	runExpect(t, loader, []*Package{pkg}, analyzers)
+}
 
-	wants, err := parseWants(pkg)
+// RunExpectTestModule loads EVERY package under modRoot (a corpus with its
+// own go.mod, so multi-package fixtures stay invisible to the real build),
+// builds a call graph spanning all of them, runs the analyzers over each,
+// and matches diagnostics against the union of all // want markers. This
+// is the harness for the call-graph analyzers, whose findings depend on
+// cross-package call chains a single-directory load cannot express.
+func RunExpectTestModule(t TestingT, modRoot string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader, err := NewLoader(modRoot)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
+	dirs, err := resolvePatterns(loader.ModRoot, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("lint: load %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	runExpect(t, loader, pkgs, analyzers)
+}
+
+// runExpect is the shared harness core: graph construction over the
+// loader's full package set, analyzer runs, suppression processing, and
+// bidirectional want matching.
+func runExpect(t TestingT, loader *Loader, pkgs []*Package, analyzers []*Analyzer) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("lint: corpus %s does not type-check: %v", pkg.Dir, pkg.TypeErrors)
+		}
+	}
+	wire := NewWireSet()
+	for _, pkg := range pkgs {
+		CollectWire(pkg, wire)
+	}
+	// Graph over everything the loader saw (corpus packages plus any
+	// module-internal dependencies pulled in by source-first importing).
+	graph := BuildCallGraph(loader.Loaded())
+	var diags []Diagnostic
+	var wants []*wantExpectation
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			raw = append(raw, RunAnalyzer(a, pkg, wire, graph)...)
+		}
+		kept, directiveDiags := ApplySuppressions(pkg, raw)
+		diags = append(diags, kept...)
+		diags = append(diags, directiveDiags...)
+		w, err := parseWants(pkg)
+		if err != nil {
+			t.Fatalf("lint: %v", err)
+		}
+		wants = append(wants, w...)
+	}
+	SortDiagnostics(diags)
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {

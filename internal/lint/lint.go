@@ -24,12 +24,27 @@
 //     codec-v2 encoders (the WAL refuses them at runtime, after the state
 //     change they were meant to journal).
 //
+// Three analyzers run on a whole-program call graph (see callgraph.go)
+// that the driver builds once per run over every loaded package:
+//
+//   - reentry:  handler code synchronously re-entering the event-loop
+//     dispatch (a Route/Deliver cycle observes half-updated node state);
+//   - maporder, again: its sink summaries come from the call graph, so a
+//     map-range body that leaks order through a helper in ANOTHER package
+//     is caught too;
+//   - noalloc:  functions marked //vet:noalloc (training kernels, Accum
+//     merges, codec hot paths) must not allocate: no composite literals
+//     that escape, no append beyond caller-owned storage, no interface
+//     boxing, closures, string building, or calls to allocating callees.
+//
 // Findings a human has judged acceptable are suppressed in place with
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // on the flagged line or the line directly above it. The reason is
-// mandatory; an ignore directive without one is itself a diagnostic.
+// mandatory; an ignore directive without one is itself a diagnostic —
+// directive hygiene is the suite's eighth analyzer ("directive"), applied
+// by the driver as part of suppression processing.
 //
 // The suite runs as `totoro-vet ./...` (cmd/totoro-vet) and as the
 // in-tree CI gate TestRepoVetGate.
@@ -62,6 +77,11 @@ type Pass struct {
 	// Wire is the repo-wide set of gob-registered wire types, built by the
 	// driver before analyzers run. Nil when no wire context was collected.
 	Wire *WireSet
+	// Graph is the whole-program call graph, built once per driver run and
+	// shared by every analyzer (reentry, maporder, and noalloc consult it;
+	// the per-package analyzers ignore it). Nil only when an analyzer is
+	// run outside the driver without graph context.
+	Graph *CallGraph
 
 	diags []Diagnostic
 }
@@ -85,9 +105,22 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Analyzers is the full suite in stable order.
+// Analyzers is the full suite in stable order: the five per-package
+// analyzers, the three call-graph analyzers, and directive hygiene.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{EnvNow, MapOrder, SeedRand, GoFunc, WireSafe}
+	return []*Analyzer{EnvNow, MapOrder, SeedRand, GoFunc, WireSafe, Reentry, NoAlloc, Directive}
+}
+
+// Directive is the suppression-hygiene analyzer: //lint:ignore directives
+// must carry a reason and must actually suppress something. Its findings
+// are produced by ApplySuppressions (the driver applies it as part of
+// suppression processing rather than via Run, which is why Run is a no-op)
+// but it is a first-class suite member: listable, -only-selectable, and
+// itself suppressible by name like any other analyzer.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc:  "//lint:ignore directives must carry a reason and suppress at least one finding",
+	Run:  func(*Pass) {},
 }
 
 // AnalyzerByName resolves one analyzer (nil if unknown).
@@ -102,9 +135,9 @@ func AnalyzerByName(name string) *Analyzer {
 
 // RunAnalyzer runs one analyzer over one package and returns its raw
 // (unsuppressed) diagnostics, tagged with the analyzer name and sorted by
-// position.
-func RunAnalyzer(a *Analyzer, pkg *Package, wire *WireSet) []Diagnostic {
-	pass := &Pass{Package: pkg, Wire: wire}
+// position. graph may be nil for analyzers that do not consult it.
+func RunAnalyzer(a *Analyzer, pkg *Package, wire *WireSet, graph *CallGraph) []Diagnostic {
+	pass := &Pass{Package: pkg, Wire: wire, Graph: graph}
 	a.Run(pass)
 	for i := range pass.diags {
 		pass.diags[i].Analyzer = a.Name
@@ -157,7 +190,7 @@ func parseIgnores(fset *token.FileSet, f *ast.File) (dirs []*ignoreDirective, ba
 			if reason == "" {
 				bad = append(bad, Diagnostic{
 					Pos:      pos,
-					Analyzer: "lint",
+					Analyzer: Directive.Name,
 					Message:  "//lint:ignore directive needs a reason: //lint:ignore <analyzer> <reason>",
 				})
 				continue
@@ -210,7 +243,7 @@ func ApplySuppressions(pkg *Package, diags []Diagnostic) (kept, directiveDiags [
 			sort.Strings(names)
 			directiveDiags = append(directiveDiags, Diagnostic{
 				Pos:      dir.pos,
-				Analyzer: "lint",
+				Analyzer: Directive.Name,
 				Message: fmt.Sprintf("//lint:ignore %s directive suppresses nothing; delete it",
 					strings.Join(names, ",")),
 			})

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package, ready for analysis.
@@ -35,22 +36,28 @@ type Package struct {
 	TypeErrors []error
 }
 
-// Loader parses and type-checks packages from source. Dependencies are
-// imported from compiled export data located via `go list -export`, which
-// resolves through the module's build cache — so the loader needs the go
-// toolchain but no third-party machinery, and sees exactly the types the
-// real build sees.
+// Loader parses and type-checks packages from source. Module-internal
+// dependencies are themselves loaded from source (recursively, on demand),
+// so every package in one Loader shares a single go/types universe —
+// cross-package analyses can compare types.Object pointers directly.
+// Out-of-module dependencies are imported from compiled export data
+// located via `go list -export`, which resolves through the module's build
+// cache — so the loader needs the go toolchain but no third-party
+// machinery, and sees exactly the types the real build sees.
 type Loader struct {
 	// ModRoot is the module root directory (where go.mod lives).
 	ModRoot string
 	// ModPath is the module path declared in go.mod.
 	ModPath string
 
-	fset    *token.FileSet
-	ctx     build.Context
-	imp     types.ImporterFrom
-	exports map[string]string   // import path -> export data file
-	pkgs    map[string]*Package // by absolute dir
+	fset       *token.FileSet
+	ctx        build.Context
+	imp        types.ImporterFrom
+	exports    map[string]string   // import path -> export data file
+	prefetched bool                // one-shot `go list -export -deps` ran
+	pkgs       map[string]*Package // by absolute dir
+	loading    map[string]bool     // dirs mid-check (import-cycle guard)
+	loaded     []*Package          // every package, in load order
 }
 
 // NewLoader creates a loader rooted at the module containing dir (found by
@@ -67,6 +74,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ctx:     build.Default,
 		exports: map[string]string{},
 		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
 	}
 	// Analysis targets are pure Go; cgo-tagged files are excluded up front
 	// so the parser never sees import "C" magic.
@@ -77,6 +85,48 @@ func NewLoader(dir string) (*Loader, error) {
 
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Loaded returns every package this loader has loaded, in load order.
+func (l *Loader) Loaded() []*Package { return l.loaded }
+
+// sourceFirstImporter resolves module-internal import paths by loading the
+// target package from source through the same Loader, and falls back to
+// compiled export data for everything else. Source-first importing is what
+// gives the whole program ONE type-checking universe: the *types.Func for
+// ring.(*Node).Route seen by the pubsub package is the same object the
+// ring package defines, so the call graph can key nodes by object
+// identity instead of re-deriving symbolic names.
+type sourceFirstImporter struct{ l *Loader }
+
+func (si sourceFirstImporter) Import(path string) (*types.Package, error) {
+	return si.ImportFrom(path, "", 0)
+}
+
+func (si sourceFirstImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if sub, ok := si.l.moduleDir(path); ok {
+		p, err := si.l.LoadDir(sub)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("lint: dependency %s does not type-check: %v", path, p.TypeErrors[0])
+		}
+		return p.Pkg, nil
+	}
+	return si.l.imp.ImportFrom(path, dir, mode)
+}
+
+// moduleDir maps a module-internal import path to its source directory
+// (ok=false for out-of-module paths).
+func (l *Loader) moduleDir(path string) (string, bool) {
+	if path == l.ModPath {
+		return l.ModRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
 
 // findModule walks up from dir to the nearest go.mod.
 func findModule(dir string) (root, modPath string, err error) {
@@ -102,9 +152,18 @@ func findModule(dir string) (root, modPath string, err error) {
 }
 
 // lookupExport resolves an import path to its compiled export data via the
-// go toolchain (building it into the cache if needed).
+// go toolchain (building it into the cache if needed). The first miss
+// triggers one batched `go list -export -deps ./...` that resolves every
+// dependency of the module in a single toolchain invocation — the
+// per-import subprocess is only a fallback for paths outside the module's
+// dependency graph (test corpora importing stdlib packages the module
+// never uses).
 func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
 	file, ok := l.exports[path]
+	if !ok && !l.prefetched {
+		l.prefetchExports()
+		file, ok = l.exports[path]
+	}
 	if !ok {
 		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
 		cmd.Dir = l.ModRoot
@@ -123,6 +182,28 @@ func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
 		l.exports[path] = file
 	}
 	return os.Open(file)
+}
+
+// prefetchExports fills the export cache for the module's whole dependency
+// graph in one `go list` run. Best-effort: any failure just leaves the
+// cache to be filled by per-path lookups.
+func (l *Loader) prefetchExports() {
+	l.prefetched = true
+	cmd := exec.Command("go", "list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}", "./...")
+	cmd.Dir = l.ModRoot
+	out, err := cmd.Output()
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if !ok || file == "" {
+			continue
+		}
+		if _, have := l.exports[path]; !have {
+			l.exports[path] = file
+		}
+	}
 }
 
 // importPathFor synthesizes the import path of a directory: module-relative
@@ -151,6 +232,11 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if p, ok := l.pkgs[abs]; ok {
 		return p, nil
 	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("lint: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
 	entries, err := os.ReadDir(abs)
 	if err != nil {
 		return nil, err
@@ -173,11 +259,24 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("lint: no buildable Go files in %s", abs)
 	}
+	// Parse concurrently: token.FileSet is safe for concurrent AddFile, and
+	// parsing dominates load time for large packages. Results keep the
+	// sorted-name order so downstream iteration stays deterministic.
+	parsed := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parsed[i], errs[i] = parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		}()
+	}
+	wg.Wait()
 	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
+	for i, f := range parsed {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		// MatchFile handles build tags but not cgo; with cgo disabled a
 		// file importing "C" is unbuildable, so skip it like the build
@@ -204,13 +303,14 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		},
 	}
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: sourceFirstImporter{l},
 		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
 	}
 	// Check reports the first error as err; everything lands in TypeErrors
 	// via the callback, and the partially checked package stays usable.
 	p.Pkg, _ = conf.Check(p.Path, l.fset, files, p.Info)
 	l.pkgs[abs] = p
+	l.loaded = append(l.loaded, p)
 	return p, nil
 }
 

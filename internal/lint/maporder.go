@@ -16,7 +16,10 @@ import (
 //     (message order decides event order fleet-wide), a telemetry emit
 //     (trace interleaving), an RNG draw (stream consumption order), or a
 //     floating-point accumulation (addition is not associative) — directly
-//     or through any same-package function;
+//     or through any call chain in the program: the sink summaries come
+//     from the whole-program call graph, so a helper in another package
+//     (or a callback resolved through an interface) that ends in Env.Send
+//     is caught the same as an inline send;
 //   - the loop is an argmin/argmax selection into variables declared
 //     outside the loop: with a strict comparison, ties are broken by
 //     whichever key the runtime happened to yield first.
@@ -85,7 +88,15 @@ var mergeCallNames = map[string]bool{
 }
 
 func runMapOrder(pass *Pass) {
-	sinks := packageSinks(pass)
+	// Sink summaries come from the shared whole-program graph; a
+	// single-package graph is built on the fly when the analyzer runs
+	// standalone (then only same-package chains are visible, the v1
+	// behavior).
+	graph := pass.Graph
+	if graph == nil {
+		graph = BuildCallGraph([]*Package{pass.Package})
+	}
+	sinks := graph.Sinks()
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			rng, ok := n.(*ast.RangeStmt)
@@ -99,7 +110,7 @@ func runMapOrder(pass *Pass) {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if mask, at := bodySink(pass, sinks, rng); mask != 0 {
+			if mask, at := bodySink(pass, graph, sinks, rng); mask != 0 {
 				pass.Reportf(at, "map iteration order is random per run and reaches %s; iterate a sorted snapshot of the keys instead", mask.describe())
 			}
 			if at := argSelect(pass, rng); at != token.NoPos {
@@ -110,65 +121,23 @@ func runMapOrder(pass *Pass) {
 	}
 }
 
-// packageSinks computes, for every function declared in the package, the
-// sinks it performs directly, then propagates through same-package calls
-// to a fixed point — so a map-range body that calls a helper which calls
-// Env.Send is still caught.
-func packageSinks(pass *Pass) map[*types.Func]sinkMask {
-	direct := map[*types.Func]sinkMask{}
-	bodies := map[*types.Func]*ast.BlockStmt{}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			bodies[fn] = fd.Body
-			mask := sinkMask(0)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				mask |= directSink(pass, n)
-				return true
-			})
-			direct[fn] = mask
-		}
-	}
-	// Fixed-point propagation over the package-local call graph. Merge
-	// sinks do NOT propagate: a callee accumulating floats on its own
-	// locals is order-independent from the caller's perspective, while
-	// sends, telemetry, and RNG draws are global effects no matter how
-	// deep they happen.
-	for changed := true; changed; {
-		changed = false
-		for fn, body := range bodies {
-			mask := direct[fn]
-			ast.Inspect(body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if callee := calleeFunc(pass, call); callee != nil {
-						mask |= direct[callee] &^ sinkMerge
-					}
-				}
-				return true
-			})
-			if mask != direct[fn] {
-				direct[fn] = mask
-				changed = true
-			}
-		}
-	}
-	return direct
-}
-
 // directSink classifies one call as an order-sensitive effect.
 func directSink(pass *Pass, n ast.Node) sinkMask {
+	return directSinkInfo(pass.Package, n)
+}
+
+// directSinkInfo is the Pass-free form of directSink, usable by the call
+// graph's summary computation. Classification is name-based over resolved
+// callee objects, so it works identically for in-program and stdlib
+// callees — math/rand draw methods are the only stdlib entry points that
+// count as sinks; the sort/slices/maps helpers contribute nothing (they
+// take map-derived data and hand it back order-laundered).
+func directSinkInfo(pkg *Package, n ast.Node) sinkMask {
 	call, ok := n.(*ast.CallExpr)
 	if !ok {
 		return 0
 	}
-	fn := calleeFunc(pass, call)
+	fn := calleeOf(pkg, call)
 	if fn == nil {
 		return 0
 	}
@@ -253,10 +222,12 @@ func rootIdent(e ast.Expr) *ast.Ident {
 	}
 }
 
-// bodySink scans a range body for direct sinks or calls into same-package
-// functions that (transitively) sink. It returns the sink mask and the
-// position of the first offending node.
-func bodySink(pass *Pass, sinks map[*types.Func]sinkMask, rng *ast.RangeStmt) (sinkMask, token.Pos) {
+// bodySink scans a range body for direct sinks or calls into functions
+// that (transitively) sink, resolving callees through the call graph: a
+// static call into another package and a dynamic call through an interface
+// or callback field both consult the whole-program summaries. It returns
+// the sink mask and the position of the first offending node.
+func bodySink(pass *Pass, graph *CallGraph, sinks map[*types.Func]sinkMask, rng *ast.RangeStmt) (sinkMask, token.Pos) {
 	var mask sinkMask
 	var at token.Pos
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
@@ -272,8 +243,19 @@ func bodySink(pass *Pass, sinks map[*types.Func]sinkMask, rng *ast.RangeStmt) (s
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
+			for _, site := range graph.SitesFor(call) {
+				if site.Callee == nil {
+					continue
+				}
+				if m := sinks[site.Callee.Fn.Origin()] &^ sinkMerge; m != 0 {
+					mask, at = m, call.Pos()
+					return false
+				}
+			}
+			// Calls the graph has no node for (callee in a package loaded
+			// outside the graph) still resolve by object identity.
 			if callee := calleeFunc(pass, call); callee != nil {
-				if m := sinks[callee] &^ sinkMerge; m != 0 {
+				if m := sinks[callee.Origin()] &^ sinkMerge; m != 0 {
 					mask, at = m, call.Pos()
 					return false
 				}

@@ -9,3 +9,11 @@ import "testing"
 func TestMapOrderCorpus(t *testing.T) {
 	RunExpectTest(t, "testdata/src/maporder", MapOrder)
 }
+
+// TestMapOrderCrossPackageCorpus pins the whole-program half of maporder:
+// a loop body that reaches Env.Send only through another package's helper
+// chain, or through an interface dispatch resolved by the call graph, is
+// flagged; iterating an order-laundered (sorted) snapshot is not.
+func TestMapOrderCrossPackageCorpus(t *testing.T) {
+	RunExpectTestModule(t, "testdata/src/maporder_xpkg", MapOrder)
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+// TestNoAllocCorpus pins the noalloc analyzer's full output: every
+// syntactic allocation site (builtins, literals, closures, method values,
+// concatenation, conversions, go statements, variadic slices, interface
+// boxing), unprovable calls (unmarked allocating callees, unknown
+// externals, unresolved dynamic targets), and the unknown-qualifier
+// diagnostic are flagged; self-append, panic messages, pure stdlib,
+// marked/amortized/cold callees, and clean summaries are not.
+func TestNoAllocCorpus(t *testing.T) {
+	RunExpectTest(t, "testdata/src/noalloc", NoAlloc)
+}

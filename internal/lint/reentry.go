@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// Reentry guards the event loop's run-to-completion discipline. A node is
+// single-threaded: each delivered message runs one handler to completion,
+// and every effect on other nodes goes through the asynchronous
+// Env.Send/Env.After boundary. The one sanctioned exception is rendezvous
+// routing: ring.Route delivers SYNCHRONOUSLY to self when this node owns
+// the key, upcalling App.Deliver in the same stack frame. That makes the
+// following shape a hazard: a handler (code synchronously reachable from
+// a dispatch entry) calls back into a dispatch entry that can — through
+// that same synchronous self-delivery — re-enter the very handler chain
+// that is still on the stack, observing its half-updated node state.
+//
+// The analyzer flags exactly that shape on the whole-program call graph:
+// a synchronous call edge F -> G where F is handler code, G is a dispatch
+// entry, and F is itself synchronously reachable from G (the cycle is what
+// distinguishes re-entry from plain layering). Two designed patterns are
+// exempt:
+//
+//   - layered delegation: a dispatch entry forwarding to the same-named
+//     entry one layer down (Engine.Receive -> ring.Receive) is the
+//     dispatch pipeline itself, not re-entry into it;
+//   - a dynamic upcall through an interface or callback struct the calling
+//     package declares itself (ring calling its own App.Deliver, pubsub
+//     invoking its own Handlers callbacks): that is the package's designed
+//     extension point, and the cycle it closes is the one the architecture
+//     documents.
+//
+// Everything else must either move to the next tick (Env.After(0, ...)) or
+// carry a //lint:ignore reentry with the state-safety argument.
+var Reentry = &Analyzer{
+	Name: "reentry",
+	Doc:  "handler code must not synchronously re-enter the event-loop dispatch it is running under",
+	Run:  runReentry,
+}
+
+// dispatchEntryNames are the method names that admit messages into a
+// node's dispatch path. Shape constraints (checked in isDispatchEntry)
+// keep the name match honest.
+var dispatchEntryNames = map[string]bool{
+	"Receive": true,
+	"Deliver": true,
+	"Forward": true,
+	"Route":   true,
+}
+
+// isDispatchEntry reports whether fn is a dispatch entry: an in-program
+// method with one of the entry names and the corresponding handler shape.
+func isDispatchEntry(g *CallGraph, fn *types.Func) bool {
+	if fn == nil || !dispatchEntryNames[fn.Name()] {
+		return false
+	}
+	node := g.Node(fn)
+	if node == nil || node.Decl.Body == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	params := sig.Params()
+	switch fn.Name() {
+	case "Receive", "Route":
+		// (..., msg any): the untyped payload is the dispatch signature.
+		if params.Len() < 2 {
+			return false
+		}
+		last := params.At(params.Len() - 1).Type().Underlying()
+		iface, ok := last.(*types.Interface)
+		return ok && iface.NumMethods() == 0
+	case "Deliver":
+		// (d SomeDelivery): a single named struct argument.
+		if params.Len() != 1 {
+			return false
+		}
+		named := namedOf(params.At(0).Type())
+		if named == nil {
+			return false
+		}
+		_, isStruct := named.Underlying().(*types.Struct)
+		return isStruct
+	case "Forward":
+		// (d *SomeDelivery, ...): intercepts a message in flight.
+		if params.Len() < 1 {
+			return false
+		}
+		ptr, ok := params.At(0).Type().Underlying().(*types.Pointer)
+		if !ok {
+			return false
+		}
+		named := namedOf(ptr.Elem())
+		if named == nil {
+			return false
+		}
+		_, isStruct := named.Underlying().(*types.Struct)
+		return isStruct
+	}
+	return false
+}
+
+// dispatchEntries collects (and caches on the graph) every dispatch entry
+// in the program.
+func (g *CallGraph) dispatchEntries() []*FuncNode {
+	if g.entries != nil {
+		return g.entries
+	}
+	for _, node := range g.nodes {
+		if isDispatchEntry(g, node.Fn) {
+			g.entries = append(g.entries, node)
+		}
+	}
+	if g.entries == nil {
+		g.entries = []*FuncNode{}
+	}
+	return g.entries
+}
+
+// handlerSet returns every function synchronously reachable from any
+// dispatch entry — the code that may be "on the stack" while a message is
+// being handled.
+func handlerSet(g *CallGraph) map[*types.Func]bool {
+	inH := map[*types.Func]bool{}
+	for _, e := range g.dispatchEntries() {
+		for fn := range g.SyncReachable(e.Fn) {
+			inH[fn] = true
+		}
+	}
+	return inH
+}
+
+func runReentry(pass *Pass) {
+	g := pass.Graph
+	if g == nil {
+		g = BuildCallGraph([]*Package{pass.Package})
+	}
+	inHandler := handlerSet(g)
+	for _, node := range g.nodes {
+		if node.Pkg != pass.Package || !inHandler[node.Fn.Origin()] {
+			continue
+		}
+		for _, site := range node.Out {
+			if site.Async || site.Callee == nil {
+				continue
+			}
+			callee := site.Callee.Fn
+			if !isDispatchEntry(g, callee) {
+				continue
+			}
+			// Layered delegation: entry -> same-named entry one layer down.
+			if node.Fn.Name() == callee.Name() && isDispatchEntry(g, node.Fn) {
+				continue
+			}
+			// The calling package's own upcall interface/callback struct:
+			// the designed extension point.
+			if site.Dynamic && site.Owner != nil && site.Owner == pass.Pkg {
+				continue
+			}
+			// Only a cycle is re-entry: the callee's synchronous extent
+			// must lead back to the caller.
+			if !g.SyncReachable(callee)[node.Fn.Origin()] {
+				continue
+			}
+			pass.Reportf(site.Call.Pos(),
+				"%s is handler code (synchronously reachable from the event-loop dispatch) and calls %s.%s, which can synchronously re-enter it; defer the call to the next tick (Env.After) or bless the re-entry with an explicit //lint:ignore",
+				node.Fn.Name(), recvTypeName(callee), callee.Name())
+		}
+	}
+}
+
+// recvTypeName names a method's receiver type for diagnostics.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name()
+		}
+		return "?"
+	}
+	if named := namedOf(sig.Recv().Type()); named != nil {
+		return named.Obj().Name()
+	}
+	return "?"
+}

@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+// TestReentryCorpus pins the reentry analyzer's full output over a
+// three-package module shaped like the engine (transport / ring / node):
+// synchronous handler calls back into ring.Route that close a cycle are
+// flagged — directly in Deliver and through a helper — while layered
+// same-name delegation, own-package upcalls, next-tick deferral, acyclic
+// entry-to-entry handoff, and external API entry points stay silent.
+func TestReentryCorpus(t *testing.T) {
+	RunExpectTestModule(t, "testdata/src/reentry", Reentry)
+}

@@ -1,0 +1,54 @@
+// Package app is the maporder cross-package expectation corpus: map
+// iterations whose bodies reach a send only through another package's
+// helper (or an interface dispatch) must be flagged by the whole-program
+// summaries; iterating a sorted snapshot must not.
+package app
+
+import "mapxpkg/wireutil"
+
+type gossip struct {
+	env   wireutil.Env
+	peers map[string]bool
+}
+
+// pingAll leaks iteration order through wireutil.Notify -> probe -> Send:
+// the sink is two calls and one package away.
+func (g *gossip) pingAll() {
+	for p := range g.peers {
+		wireutil.Notify(g.env, p) // want "reaches a network send"
+	}
+}
+
+// pingSorted iterates the order-laundered snapshot: deterministic.
+func (g *gossip) pingSorted() {
+	for _, p := range wireutil.Keys(g.peers) {
+		wireutil.Notify(g.env, p)
+	}
+}
+
+// flusher is dispatched through an interface: the summaries must follow
+// the dynamic edge to every in-program implementation.
+type flusher interface {
+	Flush(to string, msg any)
+}
+
+type udp struct{ env wireutil.Env }
+
+func (u *udp) Flush(to string, msg any) {
+	u.env.Send(to, msg)
+}
+
+func flushAll(f flusher, m map[string]any) {
+	for k, v := range m {
+		f.Flush(k, v) // want "reaches a network send"
+	}
+}
+
+// counting stays order-independent even when a helper is involved.
+func tally(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module mapxpkg
+
+go 1.24

@@ -1,0 +1,33 @@
+// Package wireutil holds the helpers the maporder cross-package corpus
+// routes map iterations through: one that transitively sends (a sink the
+// whole-program summaries must surface in OTHER packages) and one that
+// order-launders keys through a sort.
+package wireutil
+
+import "sort"
+
+// Env is the transport stand-in; Send is a sink by method name.
+type Env interface {
+	Send(to string, msg any)
+}
+
+// Notify pings one peer — a network send two hops from any caller's loop.
+func Notify(e Env, to string) {
+	probe(e, to)
+}
+
+func probe(e Env, to string) {
+	e.Send(to, "probe")
+}
+
+// Keys snapshots and sorts a map's keys: the order-laundering idiom.
+// Its own range is order-independent (set building), and callers ranging
+// over the RESULT are deterministic.
+func Keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

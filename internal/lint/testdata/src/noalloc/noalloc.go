@@ -1,0 +1,212 @@
+// Package noalloc is the expectation corpus for the noalloc analyzer:
+// every syntactic allocation site and every unprovable call inside a
+// //vet:noalloc function must be flagged; the sanctioned idioms
+// (self-append, panic messages, pure stdlib, marked/amortized/cold
+// callees, clean summaries) must not.
+package noalloc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"sync"
+)
+
+type pair struct{ x, y int }
+
+// --- flagged sites -------------------------------------------------------
+
+//vet:noalloc
+func builtins(n int) {
+	_ = make([]int, n)    // want "make allocates"
+	_ = new(pair)         // want "new allocates"
+	m := map[string]int{} // want "map literal allocates"
+	s := []int{1, 2}      // want "slice literal allocates"
+	p := &pair{x: 1}      // want "&composite literal escapes to the heap"
+	_, _, _ = m, s, p
+}
+
+//vet:noalloc
+func badAppend(s []int) []int {
+	t := append(s, 1) // want "append may grow beyond caller-owned storage"
+	return t
+}
+
+//vet:noalloc
+func badAppendStyle(b []byte, x uint64) []byte {
+	b2 := binary.AppendUvarint(b, x) // want "append-style call must be assigned back to its first argument"
+	return b2
+}
+
+//vet:noalloc
+func badClosure() {
+	f := func() int { return 1 } // want "function literal allocates a closure"
+	_ = f
+}
+
+//vet:noalloc
+func badMethodValue(r *rand.Rand) {
+	f := r.Float64 // want "method value allocates a bound-method closure"
+	_ = f
+}
+
+//vet:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//vet:noalloc
+func badConcatAssign(s string) string {
+	s += "!" // want "string concatenation allocates"
+	return s
+}
+
+//vet:noalloc
+func badConv(s string, b []byte) {
+	_ = []byte(s) // want "conversion copies and allocates"
+	_ = string(b) // want "conversion copies and allocates"
+}
+
+//vet:noalloc
+func badGo() {
+	go tick() // want "go statement allocates a goroutine"
+}
+
+func tick() {}
+
+//vet:noalloc
+func badVariadic() int {
+	return vsum(1, 2, 3) // want "variadic call allocates its argument slice"
+}
+
+func vsum(xs ...int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//vet:noalloc
+func badBoxing(n int) {
+	sink(n) // want "argument boxes a value into an interface"
+}
+
+func sink(x any) { _ = x }
+
+//vet:noalloc
+func badCallee(n int) []byte {
+	return makeBuf(n) // want "calls makeBuf, which may allocate"
+}
+
+func makeBuf(n int) []byte { return make([]byte, n) }
+
+//vet:noalloc
+func badExternal(n int) string {
+	return strconv.Itoa(n) // want "calls strconv.Itoa, which is not on the allocation-free list"
+}
+
+type hooks struct{ onDone func() }
+
+//vet:noalloc
+func badDynamic(h *hooks) {
+	h.onDone() // want "dynamic call whose target cannot be proven allocation-free"
+}
+
+//vet:noalloc turbo
+func badQualifier() {} // want "unknown //vet:noalloc qualifier"
+
+// --- sanctioned idioms ---------------------------------------------------
+
+//vet:noalloc
+func selfAppend(s []int, x int) []int {
+	s = append(s, x)
+	return s
+}
+
+//vet:noalloc
+func selfAppendStyle(b []byte, x uint64) []byte {
+	b = binary.AppendUvarint(b, x)
+	return b
+}
+
+//vet:noalloc
+func panicPath(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("noalloc: negative %d", n))
+	}
+}
+
+//vet:noalloc
+func pureStdlib(r *rand.Rand, mu *sync.Mutex, x float64) float64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return math.Sqrt(x) + r.Float64()
+}
+
+//vet:noalloc
+func spreadVariadic(xs []int) int {
+	return vsum(xs...)
+}
+
+//vet:noalloc
+func pointerNoBox(p *pair) {
+	sink(p)
+}
+
+//vet:noalloc
+func callsMarked(s []int, x int) []int {
+	return selfAppend(s, x)
+}
+
+//vet:noalloc
+func callsAmortized(n int) {
+	grown = growBuf(grown, n)
+}
+
+var grown []float64
+
+// growBuf may reshape its reusable buffer: exempt body, trusted callers.
+//
+//vet:noalloc amortized
+func growBuf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+//vet:noalloc
+func callsCold(n int) error {
+	if n < 0 {
+		return failPath(n)
+	}
+	return nil
+}
+
+// failPath only runs on error paths: its allocations never touch the hot
+// path.
+//
+//vet:noalloc cold
+func failPath(n int) error {
+	return fmt.Errorf("noalloc: bad input %d", n)
+}
+
+// cleanHelper is unmarked but provably allocation-free: the whole-program
+// summary clears its callers without an annotation.
+func cleanHelper(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+//vet:noalloc
+func callsCleanSummary(a, b float64) float64 {
+	return cleanHelper(a, b)
+}
+
+// unmarked functions may allocate freely.
+func unmarked(n int) []int { return make([]int, n) }

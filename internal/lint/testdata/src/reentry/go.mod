@@ -1,0 +1,3 @@
+module reentrycorpus
+
+go 1.24

@@ -1,0 +1,63 @@
+// Package ring is the corpus stand-in for rendezvous routing: Route
+// delivers SYNCHRONOUSLY to the local App when this node owns the key.
+// That synchronous self-delivery is what makes calling Route from handler
+// code a re-entry hazard for the caller's package.
+package ring
+
+import "reentrycorpus/transport"
+
+// Delivery is one routed message.
+type Delivery struct {
+	Key string
+	Msg any
+}
+
+// App is the ring's upcall interface. Calls through it from this package
+// are the designed extension point, not re-entry.
+type App interface {
+	Deliver(d Delivery)
+	Forward(d *Delivery, next transport.Addr) bool
+}
+
+type envelope struct {
+	Key string
+	Msg any
+}
+
+// Ring routes by key ownership.
+type Ring struct {
+	env   transport.Env
+	app   App
+	self  transport.Addr
+	owner transport.Addr
+}
+
+// New wires a ring to its environment and application.
+func New(env transport.Env, self transport.Addr, app App) *Ring {
+	return &Ring{env: env, app: app, self: self}
+}
+
+// Route is a dispatch entry: when this node owns key, the message is
+// delivered synchronously to the local App in the same stack frame.
+func (r *Ring) Route(key string, msg any) {
+	if r.owns(key) {
+		d := Delivery{Key: key, Msg: msg}
+		// Own-package dynamic upcalls: the designed extension point.
+		if r.app.Forward(&d, r.self) {
+			r.app.Deliver(d)
+		}
+		return
+	}
+	r.env.Send(r.owner, envelope{Key: key, Msg: msg}) // async boundary
+}
+
+// Receive is a dispatch entry that hands remote envelopes to Route.
+// Entry-to-entry delegation without a return path is acyclic, not
+// re-entry: nothing Route reaches calls back into Receive.
+func (r *Ring) Receive(from transport.Addr, msg any) {
+	if e, ok := msg.(envelope); ok {
+		r.Route(e.Key, e.Msg)
+	}
+}
+
+func (r *Ring) owns(key string) bool { return key != "" }

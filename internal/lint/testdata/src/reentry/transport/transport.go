@@ -1,0 +1,14 @@
+// Package transport is the corpus stand-in for the engine's transport
+// layer: an async-by-contract Env whose Send enqueues and After schedules.
+package transport
+
+// Addr identifies a node.
+type Addr string
+
+// Env is the node's handle on the outside world. Send and After are the
+// asynchronous boundary: the call graph never resolves them into concrete
+// implementations, so nothing reached through them is synchronous.
+type Env interface {
+	Send(to Addr, msg any)
+	After(ticks int, f func())
+}

@@ -14,6 +14,8 @@ package ml
 // compute-bound batched form.
 
 // axpy computes y[j] += a*x[j] over the common length of x and y.
+//
+//vet:noalloc
 func axpy(a float64, x, y []float64) {
 	n := len(x)
 	y = y[:n]
@@ -36,6 +38,8 @@ func axpy(a float64, x, y []float64) {
 // axpyN4 computes y[j] += Σ_t c[t]*x[t*stride+j]: four fused axpys over
 // adjacent rows that load and store each y element once instead of four
 // times.
+//
+//vet:noalloc
 func axpyN4(c *[4]float64, x []float64, stride int, y []float64) {
 	n := len(y)
 	_ = x[3*stride+n-1]
@@ -51,6 +55,8 @@ func axpyN4(c *[4]float64, x []float64, stride int, y []float64) {
 }
 
 // axpyN8 computes y[j] += Σ_t c[t]*x[t*stride+j] over eight adjacent rows.
+//
+//vet:noalloc
 func axpyN8(c *[8]float64, x []float64, stride int, y []float64) {
 	n := len(y)
 	_ = x[7*stride+n-1]
@@ -67,6 +73,8 @@ func axpyN8(c *[8]float64, x []float64, stride int, y []float64) {
 
 // dotN4 computes dst[t] = Σ_j w[t*stride+j]*d[j] for t in 0..3: four dot
 // products of d against adjacent rows of w, sharing one pass over d.
+//
+//vet:noalloc
 func dotN4(d []float64, w []float64, stride int, dst []float64) {
 	n := len(d)
 	_ = w[3*stride+n-1]
@@ -89,6 +97,8 @@ func dotN4(d []float64, w []float64, stride int, dst []float64) {
 }
 
 // dot computes the inner product of x and y.
+//
+//vet:noalloc
 func dot(x, y []float64) float64 {
 	n := len(x)
 	y = y[:n]

@@ -35,13 +35,17 @@ func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv() (eax, edx uint32)
 
 //go:noescape
+//vet:noalloc
 func axpyAVX(a float64, x, y *float64, n int)
 
 //go:noescape
+//vet:noalloc
 func axpy4AVX(c, x *float64, stride int, y *float64, n int)
 
 //go:noescape
+//vet:noalloc
 func axpy8AVX(c, x *float64, stride int, y *float64, n int)
 
 //go:noescape
+//vet:noalloc
 func dot4AVX(d, w *float64, stride int, dst *float64, n int)

@@ -6,9 +6,16 @@ package ml
 // below exist only to satisfy the dispatch sites and are unreachable.
 const hasSIMD = false
 
-func axpyAVX(a float64, x, y *float64, n int)               { panic("ml: SIMD unavailable") }
+//vet:noalloc
+func axpyAVX(a float64, x, y *float64, n int) { panic("ml: SIMD unavailable") }
+
+//vet:noalloc
 func axpy4AVX(c, x *float64, stride int, y *float64, n int) { panic("ml: SIMD unavailable") }
+
+//vet:noalloc
 func axpy8AVX(c, x *float64, stride int, y *float64, n int) { panic("ml: SIMD unavailable") }
+
+//vet:noalloc
 func dot4AVX(d, w *float64, stride int, dst *float64, n int) {
 	panic("ml: SIMD unavailable")
 }

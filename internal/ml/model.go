@@ -79,6 +79,8 @@ func (m *MLP) Params() []float64 {
 }
 
 // SetParams installs a flat parameter vector produced by Params.
+//
+//vet:noalloc
 func (m *MLP) SetParams(p []float64) {
 	if len(p) != m.NumParams() {
 		panic(fmt.Sprintf("ml: SetParams length %d want %d", len(p), m.NumParams()))
@@ -106,6 +108,8 @@ func (m *MLP) layerForward(l int, a []float64, relu bool) []float64 {
 }
 
 // layerForwardInto computes layer l's output into z (len Sizes[l+1]).
+//
+//vet:noalloc
 func (m *MLP) layerForwardInto(l int, a, z []float64, relu bool) {
 	in, out := m.Sizes[l], m.Sizes[l+1]
 	z = z[:out]
@@ -162,6 +166,8 @@ func Softmax(logits []float64) []float64 {
 
 // softmaxInto is Softmax into a caller-provided buffer (dst may alias
 // logits' storage only if identical).
+//
+//vet:noalloc
 func softmaxInto(dst, logits []float64) {
 	maxv := logits[0]
 	for _, v := range logits[1:] {
@@ -208,6 +214,8 @@ func (g *Grads) NumParams() int {
 }
 
 // Zero clears the gradients in place for the next batch.
+//
+//vet:noalloc
 func (g *Grads) Zero() {
 	for l := range g.W {
 		clear(g.W[l])
@@ -235,6 +243,8 @@ func (m *MLP) Backward(X [][]float64, Y []int, g *Grads) float64 {
 
 // DeltaInto writes this model's parameters minus base into dst, both in
 // Params order (the client-update delta, computed without flattening).
+//
+//vet:noalloc
 func (m *MLP) DeltaInto(base, dst []float64) {
 	if len(base) != m.NumParams() || len(dst) != len(base) {
 		panic(fmt.Sprintf("ml: DeltaInto length %d/%d want %d", len(base), len(dst), m.NumParams()))

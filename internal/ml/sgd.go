@@ -12,6 +12,8 @@ type SGD struct {
 }
 
 // Step applies one update: p ← p − lr·(g + wd·p) with momentum.
+//
+//vet:noalloc amortized
 func (s *SGD) Step(params, grads []float64) {
 	if len(s.vel) != len(params) {
 		s.vel = make([]float64, len(params))
@@ -25,12 +27,16 @@ func (s *SGD) Step(params, grads []float64) {
 
 // Reset clears the momentum state so the optimizer (and its velocity
 // buffer) can be reused for a fresh client.
+//
+//vet:noalloc
 func (s *SGD) Reset() { clear(s.vel) }
 
 // StepModel applies one update directly to the model's layer slices —
 // the same arithmetic as Flat/Params/Step/SetParams without the three
 // full-vector copies. The FedProx pull μ·(p − anchor) is folded in when
 // mu > 0 (anchor is flat, Params order).
+//
+//vet:noalloc amortized
 func (s *SGD) StepModel(m *MLP, g *Grads, mu float64, anchor []float64) {
 	total := m.NumParams()
 	if len(s.vel) != total {
@@ -46,6 +52,7 @@ func (s *SGD) StepModel(m *MLP, g *Grads, mu float64, anchor []float64) {
 	}
 }
 
+//vet:noalloc
 func (s *SGD) stepSlice(p, g []float64, mu float64, anchor []float64, off int) int {
 	vel := s.vel[off : off+len(p)]
 	lr, mom, wd := s.LR, s.Momentum, s.WeightDecay

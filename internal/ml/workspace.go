@@ -38,6 +38,8 @@ type Workspace struct {
 func NewWorkspace() *Workspace { return &Workspace{} }
 
 // ensure shapes the architecture-dependent buffers.
+//
+//vet:noalloc amortized
 func (ws *Workspace) ensure(sizes []int) {
 	if intsEqual(ws.sizes, sizes) {
 		return
@@ -57,6 +59,8 @@ func (ws *Workspace) ensure(sizes []int) {
 
 // ensureBatch shapes the batch matrices for n examples of the given
 // architecture.
+//
+//vet:noalloc amortized
 func (ws *Workspace) ensureBatch(sizes []int, n int) {
 	ws.ensure(sizes)
 	if n <= ws.nCap {
@@ -103,6 +107,8 @@ func (ws *Workspace) Optimizer(lr, momentum float64) *SGD {
 }
 
 // permBuf returns the workspace's reusable permutation buffer of length n.
+//
+//vet:noalloc amortized
 func (ws *Workspace) permBuf(n int) []int {
 	if cap(ws.perm) < n {
 		ws.perm = make([]int, n)
@@ -127,6 +133,8 @@ func intsEqual(a, b []int) bool {
 // ws — zero allocations in steady state. The batch is processed
 // batch-major (activation and delta matrices), so each weight row is
 // streamed once per batch instead of once per example.
+//
+//vet:noalloc
 func (m *MLP) BackwardWS(X [][]float64, Y []int, g *Grads, ws *Workspace) float64 {
 	n := len(Y)
 	if n == 0 {
@@ -243,6 +251,8 @@ func (m *MLP) BackwardWS(X [][]float64, Y []int, g *Grads, ws *Workspace) float6
 // batchForward computes layer l's outputs for all n examples: Z = A·W + b
 // (with optional ReLU), input-blocked ×8 so each weight row is loaded once
 // per batch and each output row is touched once per 8 input units.
+//
+//vet:noalloc
 func (m *MLP) batchForward(l, n int, A, Z []float64, relu bool) {
 	in, out := m.Sizes[l], m.Sizes[l+1]
 	bias := m.B[l]
@@ -287,6 +297,8 @@ func (m *MLP) batchForward(l, n int, A, Z []float64, relu bool) {
 // TrainEpochWS is TrainEpoch with every scratch buffer drawn from ws and
 // the SGD step applied in place to the model's layers — no flat-vector
 // round trips, zero steady-state allocations per batch.
+//
+//vet:noalloc
 func TrainEpochWS(m *MLP, d *Dataset, batch int, opt *SGD, mu float64, anchor []float64, rng *rand.Rand, ws *Workspace) float64 {
 	n := len(d.Y)
 	if n == 0 {
@@ -321,6 +333,8 @@ func TrainEpochWS(m *MLP, d *Dataset, batch int, opt *SGD, mu float64, anchor []
 
 // permInto fills p with a uniform permutation of [0, len(p)), consuming
 // the rng stream exactly like rand.Perm but without allocating.
+//
+//vet:noalloc
 func permInto(p []int, rng *rand.Rand) {
 	for i := range p {
 		j := rng.Intn(i + 1)

@@ -220,6 +220,11 @@ func (n *Node) Create(topic ids.ID) { n.CreateWithConfig(topic, TreeConfig{}) }
 // parameters (fanout cap, aggregation deadline), which propagate to every
 // member as it joins.
 func (n *Node) CreateWithConfig(topic ids.ID, cfg TreeConfig) {
+	// The engine calls this from announce/retry handling, so the Route can
+	// self-deliver CreateMsg synchronously — safe because Deliver's
+	// CreateMsg arm only touches the topic's own state, which this caller
+	// has finished mutating.
+	//lint:ignore reentry rendezvous create: synchronous self-delivery lands in Deliver's CreateMsg arm, which reads no caller state mid-update
 	n.ring.Route(topic, CreateMsg{Topic: topic, Creator: n.ring.Self(), Cfg: cfg})
 }
 
@@ -267,6 +272,11 @@ func (n *Node) Publish(topic ids.ID, obj any) {
 		n.multicast(st, obj)
 		return
 	}
+	// Publishing from inside round handling can self-deliver when this
+	// node turns out to own the topic key: the PublishMsg arm either
+	// multicasts (isRoot, handled above) or adopts root and multicasts —
+	// both read only topic state this caller does not hold half-updated.
+	//lint:ignore reentry rendezvous publish: synchronous self-delivery lands in Deliver's PublishMsg arm, which observes no caller state mid-update
 	n.ring.Route(topic, PublishMsg{Topic: topic, Object: obj})
 }
 

@@ -212,6 +212,8 @@ func (e *Enc) Len() int { return len(e.buf) }
 func (e *Enc) Err() error { return e.err }
 
 // grow appends n uninitialized bytes and returns the slice to fill.
+//
+//vet:noalloc amortized
 func (e *Enc) grow(n int) []byte {
 	l := len(e.buf)
 	e.buf = slices.Grow(e.buf, n)[:l+n]
@@ -219,15 +221,23 @@ func (e *Enc) grow(n int) []byte {
 }
 
 // Uvarint appends x in unsigned varint form.
+//
+//vet:noalloc
 func (e *Enc) Uvarint(x uint64) { e.buf = binary.AppendUvarint(e.buf, x) }
 
 // Varint appends x in zigzag varint form.
+//
+//vet:noalloc
 func (e *Enc) Varint(x int64) { e.buf = binary.AppendVarint(e.buf, x) }
 
 // Int appends a zigzag varint int.
+//
+//vet:noalloc
 func (e *Enc) Int(x int) { e.Varint(int64(x)) }
 
 // Bool appends one byte.
+//
+//vet:noalloc
 func (e *Enc) Bool(v bool) {
 	b := byte(0)
 	if v {
@@ -237,18 +247,26 @@ func (e *Enc) Bool(v bool) {
 }
 
 // Uint64 appends x as 8 little-endian bytes.
+//
+//vet:noalloc
 func (e *Enc) Uint64(x uint64) { binary.LittleEndian.PutUint64(e.grow(8), x) }
 
 // Float64 appends the IEEE-754 bits of f as 8 little-endian bytes.
+//
+//vet:noalloc
 func (e *Enc) Float64(f float64) { e.Uint64(math.Float64bits(f)) }
 
 // String appends a uvarint length followed by the bytes of s.
+//
+//vet:noalloc
 func (e *Enc) String(s string) {
 	e.Uvarint(uint64(len(s)))
 	e.buf = append(e.buf, s...)
 }
 
 // ByteSlice appends a uvarint length followed by b.
+//
+//vet:noalloc
 func (e *Enc) ByteSlice(b []byte) {
 	e.Uvarint(uint64(len(b)))
 	e.buf = append(e.buf, b...)
@@ -256,6 +274,8 @@ func (e *Enc) ByteSlice(b []byte) {
 
 // Float64s appends a uvarint length followed by the raw little-endian
 // bits of v — one bulk copy, no per-element reflection or interface boxing.
+//
+//vet:noalloc
 func (e *Enc) Float64s(v []float64) {
 	e.Uvarint(uint64(len(v)))
 	dst := e.grow(8 * len(v))
@@ -265,6 +285,8 @@ func (e *Enc) Float64s(v []float64) {
 }
 
 // Float32s appends a uvarint length followed by little-endian float32 bits.
+//
+//vet:noalloc
 func (e *Enc) Float32s(v []float32) {
 	e.Uvarint(uint64(len(v)))
 	dst := e.grow(4 * len(v))
@@ -274,6 +296,8 @@ func (e *Enc) Float32s(v []float32) {
 }
 
 // Int8s appends a uvarint length followed by the two's-complement bytes.
+//
+//vet:noalloc
 func (e *Enc) Int8s(v []int8) {
 	e.Uvarint(uint64(len(v)))
 	dst := e.grow(len(v))
@@ -351,6 +375,7 @@ func (d *Dec) Err() error { return d.err }
 // Rem returns the number of unread bytes.
 func (d *Dec) Rem() int { return len(d.buf) - d.off }
 
+//vet:noalloc cold
 func (d *Dec) fail(what string) {
 	if d.err == nil {
 		d.err = fmt.Errorf("%w: %s at offset %d", ErrMalformed, what, d.off)
@@ -358,6 +383,8 @@ func (d *Dec) fail(what string) {
 }
 
 // take returns the next n bytes (aliasing the input) or fails.
+//
+//vet:noalloc
 func (d *Dec) take(n int) []byte {
 	if d.err != nil {
 		return nil
@@ -372,6 +399,8 @@ func (d *Dec) take(n int) []byte {
 }
 
 // Uvarint reads an unsigned varint.
+//
+//vet:noalloc
 func (d *Dec) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
@@ -386,6 +415,8 @@ func (d *Dec) Uvarint() uint64 {
 }
 
 // Varint reads a zigzag varint.
+//
+//vet:noalloc
 func (d *Dec) Varint() int64 {
 	if d.err != nil {
 		return 0
@@ -400,15 +431,21 @@ func (d *Dec) Varint() int64 {
 }
 
 // Int reads a zigzag varint as int.
+//
+//vet:noalloc
 func (d *Dec) Int() int { return int(d.Varint()) }
 
 // Bool reads one byte.
+//
+//vet:noalloc
 func (d *Dec) Bool() bool {
 	b := d.take(1)
 	return b != nil && b[0] != 0
 }
 
 // Uint64 reads 8 little-endian bytes.
+//
+//vet:noalloc
 func (d *Dec) Uint64() uint64 {
 	b := d.take(8)
 	if b == nil {
@@ -418,6 +455,8 @@ func (d *Dec) Uint64() uint64 {
 }
 
 // Float64 reads 8 little-endian bytes as IEEE-754 bits.
+//
+//vet:noalloc
 func (d *Dec) Float64() float64 { return math.Float64frombits(d.Uint64()) }
 
 // SliceLen reads and validates a claimed element count against the
@@ -428,6 +467,7 @@ func (d *Dec) Float64() float64 { return math.Float64frombits(d.Uint64()) }
 // fields.
 func (d *Dec) SliceLen(elemSize int) int { return d.sliceLen(elemSize) }
 
+//vet:noalloc
 func (d *Dec) sliceLen(elemSize int) int {
 	n := d.Uvarint()
 	if d.err != nil {
